@@ -1,0 +1,127 @@
+// E2 — Heuristic local search and the k-replacement join blow-up (§4.2).
+//
+// The paper claims the single-tuple replacement scan is one cheap SQL query
+// over P0 x R, while k simultaneous replacements need a 2k-way join that
+// "quickly becomes intractable". Reported:
+//   - the literal join-based 1-replacement query cost as |R| grows;
+//   - the k-replacement combination counts for k = 1, 2, 3 at fixed size
+//     (the budget-truncated probe shows the exponent directly);
+//   - end-to-end local-search time to a valid package as |R| grows.
+
+#include <benchmark/benchmark.h>
+
+#include "core/local_search.h"
+#include "datagen/recipes.h"
+#include "db/catalog.h"
+#include "paql/analyzer.h"
+
+namespace {
+
+using pb::core::CountKReplacements;
+using pb::core::FindSingleTupleReplacementsViaJoin;
+using pb::core::LocalSearch;
+using pb::core::LocalSearchOptions;
+using pb::core::Package;
+
+pb::paql::AnalyzedQuery MakeQuery(pb::db::Catalog& catalog, size_t n,
+                                  benchmark::State& state) {
+  catalog.RegisterOrReplace(pb::datagen::GenerateRecipes(n, 11));
+  auto aq = pb::paql::ParseAndAnalyze(
+      "SELECT PACKAGE(R) FROM recipes R "
+      "SUCH THAT SUM(calories) <= 2500 AND COUNT(*) = 5",
+      catalog);
+  if (!aq.ok()) state.SkipWithError(aq.status().ToString().c_str());
+  return std::move(aq).value();
+}
+
+Package FirstFive() {
+  Package p;
+  for (size_t i = 0; i < 5; ++i) p.Add(i);
+  return p;
+}
+
+void BM_SingleReplacementJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  pb::db::Catalog catalog;
+  auto aq = MakeQuery(catalog, n, state);
+  Package p0 = FirstFive();
+  size_t found = 0;
+  for (auto _ : state) {
+    auto joined = FindSingleTupleReplacementsViaJoin(aq, p0);
+    if (!joined.ok()) {
+      state.SkipWithError(joined.status().ToString().c_str());
+      return;
+    }
+    found = joined->num_rows();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["valid_swaps"] = static_cast<double>(found);
+}
+BENCHMARK(BM_SingleReplacementJoin)
+    ->Arg(100)->Arg(1000)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KReplacementProbe(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  pb::db::Catalog catalog;
+  auto aq = MakeQuery(catalog, 200, state);
+  Package p0 = FirstFive();
+  pb::core::KReplacementProbe probe;
+  for (auto _ : state) {
+    auto r = CountKReplacements(aq, p0, k, /*budget=*/2'000'000);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    probe = *r;
+  }
+  state.counters["k"] = k;
+  state.counters["combinations"] =
+      static_cast<double>(probe.combinations_examined);
+  state.counters["valid"] = static_cast<double>(probe.valid_replacements);
+  state.counters["truncated"] = probe.truncated ? 1 : 0;
+}
+BENCHMARK(BM_KReplacementProbe)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LocalSearchEndToEnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  pb::db::Catalog catalog;
+  catalog.RegisterOrReplace(pb::datagen::GenerateRecipes(n, 23));
+  auto aq = pb::paql::ParseAndAnalyze(
+      "SELECT PACKAGE(R) FROM recipes R WHERE gluten = 'free' "
+      "SUCH THAT COUNT(*) = 5 AND SUM(calories) BETWEEN 2200 AND 2800 "
+      "MAXIMIZE SUM(protein)",
+      catalog);
+  if (!aq.ok()) {
+    state.SkipWithError(aq.status().ToString().c_str());
+    return;
+  }
+  int64_t moves = 0;
+  int found = 0, runs = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    LocalSearchOptions opts;
+    opts.seed = seed++;
+    opts.max_restarts = 4;
+    auto r = LocalSearch(*aq, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    moves += r->moves_evaluated;
+    found += r->found ? 1 : 0;
+    ++runs;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["success_rate"] =
+      runs ? static_cast<double>(found) / runs : 0;
+  state.counters["moves_per_run"] =
+      runs ? static_cast<double>(moves) / runs : 0;
+}
+BENCHMARK(BM_LocalSearchEndToEnd)
+    ->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,145 @@
+// E7 — Solver substrate microbenchmarks.
+//
+// The engine's "state-of-the-art constraint solver" stand-in must be fast
+// enough that the strategy comparison (E3) measures the algorithms, not the
+// substrate. Reported: simplex time/iterations vs variable count on
+// package-shaped LPs (few rows, many columns), branch-and-bound node counts
+// on knapsack-style ILPs, and the Dantzig-vs-Bland pricing ablation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "solver/milp.h"
+#include "solver/simplex.h"
+
+namespace {
+
+using pb::solver::kInfinity;
+using pb::solver::LinearTerm;
+using pb::solver::LpModel;
+using pb::solver::MilpOptions;
+using pb::solver::ObjectiveSense;
+using pb::solver::SimplexOptions;
+
+/// A package-shaped LP: n binary-relaxed columns, a handful of rows.
+LpModel PackageShapedLp(int n, uint64_t seed) {
+  pb::Rng rng(seed);
+  LpModel m;
+  std::vector<LinearTerm> count, weight, cost;
+  for (int j = 0; j < n; ++j) {
+    m.AddVariable("x" + std::to_string(j), 0, 1,
+                  rng.UniformReal(1.0, 100.0), false);
+    count.push_back({j, 1.0});
+    weight.push_back({j, rng.UniformReal(100.0, 900.0)});
+    cost.push_back({j, rng.UniformReal(1.0, 50.0)});
+  }
+  m.AddConstraint("count", count, 5, 5);
+  m.AddConstraint("weight", weight, 2000, 2600);
+  m.AddConstraint("cost", cost, -kInfinity, 120);
+  m.SetSense(ObjectiveSense::kMaximize);
+  return m;
+}
+
+void BM_SimplexPackageShaped(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LpModel m = PackageShapedLp(n, 3);
+  int64_t iters = 0;
+  for (auto _ : state) {
+    auto r = pb::solver::SolveLp(m);
+    if (!r.ok() || r->status != pb::solver::LpStatus::kOptimal) {
+      state.SkipWithError("LP not optimal");
+      return;
+    }
+    iters = r->iterations;
+  }
+  state.counters["n"] = n;
+  state.counters["iterations"] = static_cast<double>(iters);
+}
+BENCHMARK(BM_SimplexPackageShaped)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimplexPricingAblation(benchmark::State& state) {
+  const bool bland = state.range(0) != 0;
+  LpModel m = PackageShapedLp(2000, 7);
+  SimplexOptions opts;
+  opts.always_bland = bland;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    auto r = pb::solver::SolveLp(m, opts);
+    if (!r.ok() || r->status != pb::solver::LpStatus::kOptimal) {
+      state.SkipWithError("LP not optimal");
+      return;
+    }
+    iters = r->iterations;
+  }
+  state.SetLabel(bland ? "bland" : "dantzig");
+  state.counters["iterations"] = static_cast<double>(iters);
+}
+BENCHMARK(BM_SimplexPricingAblation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  pb::Rng rng(11);
+  LpModel m;
+  std::vector<LinearTerm> cap;
+  double total_w = 0;
+  for (int j = 0; j < n; ++j) {
+    double w = rng.UniformReal(1.0, 30.0);
+    m.AddVariable("x" + std::to_string(j), 0, 1,
+                  w * rng.UniformReal(0.8, 1.2), true);  // correlated: hard
+    cap.push_back({j, w});
+    total_w += w;
+  }
+  m.AddConstraint("cap", cap, -kInfinity, total_w / 2);
+  m.SetSense(ObjectiveSense::kMaximize);
+  double nodes = 0;
+  for (auto _ : state) {
+    MilpOptions opts;
+    opts.time_limit_s = 30.0;
+    auto r = pb::solver::SolveMilp(m, opts);
+    if (!r.ok() || !r->has_solution()) {
+      state.SkipWithError("MILP failed");
+      return;
+    }
+    nodes = static_cast<double>(r->nodes);
+  }
+  state.counters["n"] = n;
+  state.counters["bnb_nodes"] = nodes;
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(20)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MilpRoundingHeuristicAblation(benchmark::State& state) {
+  const bool rounding = state.range(0) != 0;
+  pb::Rng rng(13);
+  LpModel m;
+  std::vector<LinearTerm> count, weight;
+  for (int j = 0; j < 500; ++j) {
+    m.AddVariable("x" + std::to_string(j), 0, 1,
+                  rng.UniformReal(1.0, 100.0), true);
+    count.push_back({j, 1.0});
+    weight.push_back({j, rng.UniformReal(100.0, 900.0)});
+  }
+  m.AddConstraint("count", count, 5, 5);
+  m.AddConstraint("weight", weight, 2000, 2600);
+  m.SetSense(ObjectiveSense::kMaximize);
+  double nodes = 0;
+  for (auto _ : state) {
+    MilpOptions opts;
+    opts.rounding_heuristic = rounding;
+    auto r = pb::solver::SolveMilp(m, opts);
+    if (!r.ok() || !r->has_solution()) {
+      state.SkipWithError("MILP failed");
+      return;
+    }
+    nodes = static_cast<double>(r->nodes);
+  }
+  state.SetLabel(rounding ? "rounding_on" : "rounding_off");
+  state.counters["bnb_nodes"] = nodes;
+}
+BENCHMARK(BM_MilpRoundingHeuristicAblation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

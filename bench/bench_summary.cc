@@ -1,0 +1,86 @@
+// E8 — Package-space summary (§3.2).
+//
+// The visual summary must lay out "the packages found so far" responsively
+// while the solver keeps enumerating in the background. Reported: time to
+// enumerate a batch of packages via no-good cuts, and time to select the
+// two layout dimensions + bucket the glyph grid as the package count grows.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/enumerator.h"
+#include "datagen/recipes.h"
+#include "db/catalog.h"
+#include "paql/analyzer.h"
+#include "ui/summary.h"
+
+namespace {
+
+constexpr const char* kQuery =
+    "SELECT PACKAGE(R) FROM recipes R WHERE gluten = 'free' "
+    "SUCH THAT COUNT(*) = 3 AND SUM(calories) BETWEEN 1200 AND 2400 "
+    "MAXIMIZE SUM(protein)";
+
+void BM_EnumerateViaNoGoodCuts(benchmark::State& state) {
+  const size_t how_many = static_cast<size_t>(state.range(0));
+  pb::db::Catalog catalog;
+  catalog.RegisterOrReplace(pb::datagen::GenerateRecipes(300, 29));
+  auto aq = pb::paql::ParseAndAnalyze(kQuery, catalog);
+  if (!aq.ok()) {
+    state.SkipWithError(aq.status().ToString().c_str());
+    return;
+  }
+  size_t got = 0;
+  for (auto _ : state) {
+    pb::core::EnumerateOptions opts;
+    opts.max_packages = how_many;
+    auto packages = pb::core::EnumerateViaSolver(*aq, opts);
+    if (!packages.ok()) {
+      state.SkipWithError(packages.status().ToString().c_str());
+      return;
+    }
+    got = packages->size();
+  }
+  state.counters["requested"] = static_cast<double>(how_many);
+  state.counters["enumerated"] = static_cast<double>(got);
+}
+BENCHMARK(BM_EnumerateViaNoGoodCuts)->Arg(5)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SummarizeLayout(benchmark::State& state) {
+  const size_t package_count = static_cast<size_t>(state.range(0));
+  pb::db::Catalog catalog;
+  catalog.RegisterOrReplace(pb::datagen::GenerateRecipes(2000, 31));
+  auto aq = pb::paql::ParseAndAnalyze(kQuery, catalog);
+  if (!aq.ok()) {
+    state.SkipWithError(aq.status().ToString().c_str());
+    return;
+  }
+  // Synthesize a large package population (enumerating 10^4+ via cuts would
+  // measure the solver, not the layout).
+  pb::Rng rng(7);
+  auto candidates = pb::db::FilterIndices(*aq->table, aq->query.where);
+  std::vector<pb::core::Package> packages;
+  packages.reserve(package_count);
+  for (size_t i = 0; i < package_count; ++i) {
+    pb::core::Package p;
+    auto pick = rng.SampleIndices(candidates->size(), 3);
+    for (size_t k : pick) p.Add((*candidates)[k]);
+    packages.push_back(std::move(p));
+  }
+  double dims = 0;
+  for (auto _ : state) {
+    auto summary = pb::ui::SummarizePackageSpace(*aq, packages);
+    if (!summary.ok()) {
+      state.SkipWithError(summary.status().ToString().c_str());
+      return;
+    }
+    dims = static_cast<double>(summary->points.size());
+    benchmark::DoNotOptimize(summary);
+  }
+  state.counters["packages"] = dims;
+}
+BENCHMARK(BM_SummarizeLayout)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,146 @@
+// E4 — PaQL -> ILP translation + solve (§2 / §7).
+//
+// The demo's tutorial path: "we will show how a PaQL query is translated
+// into a linear program and then solved using existing constraint solvers."
+// One benchmark per motivating scenario from the paper's introduction
+// (meal planner / vacation planner / investment portfolio), each reporting
+// parse+analyze time, translation time, and solve time separately, plus
+// model dimensions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.h"
+#include "core/translator.h"
+#include "datagen/recipes.h"
+#include "datagen/stocks.h"
+#include "datagen/travel.h"
+#include "db/catalog.h"
+#include "paql/analyzer.h"
+#include "solver/milp.h"
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  std::string query;
+  pb::db::Table (*generate)(size_t, uint64_t);
+};
+
+pb::db::Table GenRecipes(size_t n, uint64_t seed) {
+  return pb::datagen::GenerateRecipes(n, seed);
+}
+pb::db::Table GenStocks(size_t n, uint64_t seed) {
+  return pb::datagen::GenerateStocks(n, seed);
+}
+pb::db::Table GenTravel(size_t n, uint64_t seed) {
+  return pb::datagen::GenerateTravelItems(n, seed);
+}
+
+const Scenario kScenarios[] = {
+    {"meals",
+     "SELECT PACKAGE(R) FROM recipes R WHERE R.gluten = 'free' "
+     "SUCH THAT COUNT(*) = 3 AND SUM(R.calories) BETWEEN 2000 AND 2500 "
+     "MAXIMIZE SUM(R.protein)",
+     &GenRecipes},
+    {"portfolio",
+     "SELECT PACKAGE(S) FROM stocks S REPEAT 3 WHERE S.risk <= 0.5 "
+     "SUCH THAT SUM(S.price) <= 50000 AND SUM(S.tech_value) >= 15000 AND "
+     "SUM(S.is_short) - SUM(S.is_long) BETWEEN -2 AND 2 AND "
+     "COUNT(*) BETWEEN 5 AND 15 MAXIMIZE SUM(S.expected_gain)",
+     &GenStocks},
+    {"vacation_linear",  // the conjunctive core of the vacation scenario
+     "SELECT PACKAGE(T) FROM travel_items T WHERE T.dest = 'maui' "
+     "SUCH THAT SUM(T.is_flight) = 2 AND SUM(T.is_hotel) = 1 AND "
+     "SUM(T.is_car) <= 1 AND SUM(T.price) <= 2000 "
+     "MAXIMIZE SUM(T.comfort)",
+     &GenTravel},
+};
+
+void BM_ParseAnalyze(benchmark::State& state) {
+  const Scenario& s = kScenarios[state.range(0)];
+  pb::db::Catalog catalog;
+  catalog.RegisterOrReplace(s.generate(1000, 5));
+  for (auto _ : state) {
+    auto aq = pb::paql::ParseAndAnalyze(s.query, catalog);
+    if (!aq.ok()) {
+      state.SkipWithError(aq.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(aq);
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_ParseAnalyze)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Translate(benchmark::State& state) {
+  const Scenario& s = kScenarios[state.range(0)];
+  const size_t n = static_cast<size_t>(state.range(1));
+  pb::db::Catalog catalog;
+  catalog.RegisterOrReplace(s.generate(n, 5));
+  auto aq = pb::paql::ParseAndAnalyze(s.query, catalog);
+  if (!aq.ok()) {
+    state.SkipWithError(aq.status().ToString().c_str());
+    return;
+  }
+  int vars = 0, rows = 0;
+  for (auto _ : state) {
+    auto t = pb::core::TranslateToIlp(*aq);
+    if (!t.ok()) {
+      state.SkipWithError(t.status().ToString().c_str());
+      return;
+    }
+    vars = t->model.num_variables();
+    rows = t->model.num_constraints();
+  }
+  state.SetLabel(s.name);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["vars"] = vars;
+  state.counters["rows"] = rows;
+}
+BENCHMARK(BM_Translate)
+    ->Args({0, 1000})->Args({0, 10000})
+    ->Args({1, 1000})->Args({1, 10000})
+    ->Args({2, 1000})->Args({2, 10000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TranslateAndSolve(benchmark::State& state) {
+  const Scenario& s = kScenarios[state.range(0)];
+  const size_t n = static_cast<size_t>(state.range(1));
+  pb::db::Catalog catalog;
+  catalog.RegisterOrReplace(s.generate(n, 5));
+  auto aq = pb::paql::ParseAndAnalyze(s.query, catalog);
+  if (!aq.ok()) {
+    state.SkipWithError(aq.status().ToString().c_str());
+    return;
+  }
+  double objective = 0;
+  double nodes = 0, lp_iters = 0;
+  for (auto _ : state) {
+    auto t = pb::core::TranslateToIlp(*aq);
+    if (!t.ok()) {
+      state.SkipWithError(t.status().ToString().c_str());
+      return;
+    }
+    auto r = pb::solver::SolveMilp(t->model);
+    if (!r.ok() || !r->has_solution()) {
+      state.SkipWithError("solve failed");
+      return;
+    }
+    objective = r->objective;
+    nodes = static_cast<double>(r->nodes);
+    lp_iters = static_cast<double>(r->lp_iterations);
+  }
+  state.SetLabel(s.name);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["objective"] = objective;
+  state.counters["bnb_nodes"] = nodes;
+  state.counters["lp_iterations"] = lp_iters;
+}
+BENCHMARK(BM_TranslateAndSolve)
+    ->Args({0, 200})->Args({0, 1000})->Args({0, 5000})
+    ->Args({1, 200})->Args({1, 1000})->Args({1, 5000})
+    ->Args({2, 200})->Args({2, 1000})->Args({2, 5000})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,265 @@
+// pbshell — an interactive PaQL shell over the PackageBuilder engine.
+//
+// The closest console equivalent of the demo's web interface: load CSVs or
+// synthetic datasets into the catalog, type PaQL queries (possibly across
+// several lines, ';'-terminated), EXPLAIN them, enumerate alternatives, and
+// export the winning package.
+//
+//   ./build/examples/pbshell               # starts with synthetic recipes
+//   pb> \help
+//   pb> SELECT PACKAGE(R) FROM recipes R
+//       SUCH THAT COUNT(*) = 3 AND SUM(calories) BETWEEN 2000 AND 2500
+//       MAXIMIZE SUM(protein);
+//
+// Also usable non-interactively:  echo '...' | pbshell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/enumerator.h"
+#include "core/evaluator.h"
+#include "core/explain.h"
+#include "db/catalog.h"
+#include "db/csv.h"
+#include "datagen/lineitem.h"
+#include "datagen/recipes.h"
+#include "datagen/stocks.h"
+#include "datagen/travel.h"
+#include "paql/analyzer.h"
+#include "ui/template.h"
+
+namespace {
+
+using pb::core::EvaluationOptions;
+using pb::core::QueryEvaluator;
+
+struct Shell {
+  pb::db::Catalog catalog;
+  EvaluationOptions options;
+  pb::core::Package last_package;
+  std::string last_query;
+
+  void Help() {
+    std::printf(R"(commands:
+  \help                      this text
+  \tables                    list catalog tables
+  \load <path> <name>        load a CSV file as table <name>
+  \gen <kind> <n> [seed]     generate a dataset: recipes|travel|stocks|lineitem
+  \show <table> [rows]       print a table (default 10 rows)
+  \explain <query>;          plan a query without running it
+  \all <k> <query>;          enumerate up to k packages (best first)
+  \diverse <k> <query>;      enumerate k diverse packages
+  \save <path>               write the last result package as CSV
+  \quit                      exit
+anything else ending in ';' is evaluated as a PaQL query.
+)");
+  }
+
+  void Tables() {
+    for (const auto& name : catalog.TableNames()) {
+      auto t = catalog.Get(name);
+      std::printf("  %-20s %zu rows, %zu columns\n", name.c_str(),
+                  (*t)->num_rows(), (*t)->schema().num_columns());
+    }
+  }
+
+  void Generate(std::istringstream& args) {
+    std::string kind;
+    size_t n = 1000;
+    uint64_t seed = 42;
+    args >> kind >> n >> seed;
+    if (kind == "recipes") {
+      catalog.RegisterOrReplace(pb::datagen::GenerateRecipes(n, seed));
+    } else if (kind == "travel") {
+      catalog.RegisterOrReplace(pb::datagen::GenerateTravelItems(n, seed));
+    } else if (kind == "stocks") {
+      catalog.RegisterOrReplace(pb::datagen::GenerateStocks(n, seed));
+    } else if (kind == "lineitem") {
+      catalog.RegisterOrReplace(pb::datagen::GenerateLineitems(n, seed));
+    } else {
+      std::printf("unknown dataset kind '%s'\n", kind.c_str());
+      return;
+    }
+    std::printf("generated %zu rows of %s (seed %llu)\n", n, kind.c_str(),
+                static_cast<unsigned long long>(seed));
+  }
+
+  void Load(std::istringstream& args) {
+    std::string path, name;
+    args >> path >> name;
+    if (name.empty()) {
+      std::printf("usage: \\load <path> <name>\n");
+      return;
+    }
+    auto t = pb::db::ReadCsvFile(path, name);
+    if (!t.ok()) {
+      std::printf("%s\n", t.status().ToString().c_str());
+      return;
+    }
+    std::printf("loaded %zu rows into '%s'\n", t->num_rows(), name.c_str());
+    catalog.RegisterOrReplace(std::move(t).value());
+  }
+
+  void Show(std::istringstream& args) {
+    std::string name;
+    size_t rows = 10;
+    args >> name >> rows;
+    auto t = catalog.Get(name);
+    if (!t.ok()) {
+      std::printf("%s\n", t.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", (*t)->ToString(rows).c_str());
+  }
+
+  void Explain(const std::string& query) {
+    auto plan = pb::core::ExplainQuery(query, catalog, options);
+    if (!plan.ok()) {
+      std::printf("%s\n", plan.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", plan->ToString().c_str());
+  }
+
+  void Evaluate(const std::string& query) {
+    auto aq = pb::paql::ParseAndAnalyze(query, catalog);
+    if (!aq.ok()) {
+      std::printf("%s\n", aq.status().ToString().c_str());
+      return;
+    }
+    QueryEvaluator evaluator(&catalog);
+    auto r = evaluator.Evaluate(*aq, options);
+    if (!r.ok()) {
+      std::printf("%s\n", r.status().ToString().c_str());
+      return;
+    }
+    last_package = r->package;
+    last_query = query;
+    auto screen = pb::ui::RenderPackageTemplate(*aq, r->package,
+                                                {.show_paql = false});
+    if (screen.ok()) std::printf("%s", screen->c_str());
+    std::printf("[%s, %.2f ms%s%s]\n",
+                pb::core::StrategyToString(r->strategy_used),
+                r->seconds * 1e3,
+                aq->has_objective
+                    ? (", objective " + pb::FormatDouble(r->objective, 6))
+                          .c_str()
+                    : "",
+                r->proven_optimal ? ", proven optimal" : "");
+  }
+
+  void EvaluateMany(const std::string& query, size_t k, bool diverse) {
+    auto aq = pb::paql::ParseAndAnalyze(query, catalog);
+    if (!aq.ok()) {
+      std::printf("%s\n", aq.status().ToString().c_str());
+      return;
+    }
+    auto packages =
+        diverse ? pb::core::EnumerateDiverse(*aq, k)
+                : pb::core::EnumerateViaSolver(*aq, [&]{ pb::core::EnumerateOptions o; o.max_packages = k; return o; }());
+    if (!packages.ok()) {
+      std::printf("%s\n", packages.status().ToString().c_str());
+      return;
+    }
+    std::printf("%zu package(s):\n", packages->size());
+    for (size_t i = 0; i < packages->size(); ++i) {
+      auto obj = pb::core::PackageObjective(*aq, (*packages)[i]);
+      std::printf("  #%zu  {%s}", i + 1, (*packages)[i].Fingerprint().c_str());
+      if (aq->has_objective && obj.ok()) {
+        std::printf("  objective %s", pb::FormatDouble(*obj, 6).c_str());
+      }
+      std::printf("\n");
+    }
+    if (!packages->empty()) {
+      last_package = (*packages)[0];
+      last_query = query;
+    }
+  }
+
+  void Save(std::istringstream& args) {
+    std::string path;
+    args >> path;
+    if (path.empty() || last_query.empty()) {
+      std::printf("nothing to save (run a query first)\n");
+      return;
+    }
+    auto aq = pb::paql::ParseAndAnalyze(last_query, catalog);
+    if (!aq.ok()) {
+      std::printf("%s\n", aq.status().ToString().c_str());
+      return;
+    }
+    pb::db::Table t =
+        pb::core::MaterializePackage(*aq->table, last_package, "package");
+    auto s = pb::db::WriteCsvFile(t, path);
+    std::printf("%s\n", s.ok() ? ("wrote " + path).c_str()
+                               : s.ToString().c_str());
+  }
+
+  /// Dispatches one complete input (a '\' command line or a ';' query).
+  /// Returns false on \quit.
+  bool Dispatch(const std::string& input) {
+    std::string text(pb::StripAsciiWhitespace(input));
+    if (text.empty()) return true;
+    if (text[0] == '\\') {
+      std::istringstream args(text.substr(1));
+      std::string cmd;
+      args >> cmd;
+      if (cmd == "quit" || cmd == "q") return false;
+      if (cmd == "help") Help();
+      else if (cmd == "tables") Tables();
+      else if (cmd == "gen") Generate(args);
+      else if (cmd == "load") Load(args);
+      else if (cmd == "show") Show(args);
+      else if (cmd == "save") Save(args);
+      else if (cmd == "explain" || cmd == "all" || cmd == "diverse") {
+        size_t k = 5;
+        if (cmd != "explain") args >> k;
+        std::string rest;
+        std::getline(args, rest);
+        while (!rest.empty() && rest.back() == ';') rest.pop_back();
+        if (cmd == "explain") Explain(rest);
+        else EvaluateMany(rest, k, cmd == "diverse");
+      } else {
+        std::printf("unknown command '\\%s' (try \\help)\n", cmd.c_str());
+      }
+      return true;
+    }
+    std::string query = text;
+    while (!query.empty() && query.back() == ';') query.pop_back();
+    Evaluate(query);
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  shell.catalog.RegisterOrReplace(pb::datagen::GenerateRecipes(500, 42));
+  std::printf("PackageBuilder shell -- 'recipes' (500 rows) is preloaded; "
+              "\\help for commands\n");
+  std::string buffer;
+  std::string line;
+  bool interactive = true;
+  while (true) {
+    std::printf(buffer.empty() ? "pb> " : "  > ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string stripped(pb::StripAsciiWhitespace(line));
+    if (buffer.empty() && (stripped.empty() || stripped[0] == '\\')) {
+      if (!shell.Dispatch(stripped)) break;
+      continue;
+    }
+    buffer += line + "\n";
+    if (!stripped.empty() && stripped.back() == ';') {
+      bool keep_going = shell.Dispatch(buffer);
+      buffer.clear();
+      if (!keep_going) break;
+    }
+  }
+  (void)interactive;
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "common/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pb {
+
+namespace {
+constexpr double kLog2E = 1.4426950408889634;  // log2(e)
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double Log2Factorial(int64_t n) {
+  if (n <= 1) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) * kLog2E;
+}
+
+double Log2Binomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  return Log2Factorial(n) - Log2Factorial(k) - Log2Factorial(n - k);
+}
+
+double Log2BinomialSum(int64_t n, int64_t lo, int64_t hi) {
+  lo = std::max<int64_t>(lo, 0);
+  hi = std::min<int64_t>(hi, n);
+  if (lo > hi || n < 0) return kNegInf;
+  // log-sum-exp in base 2 over the (unimodal) binomial row segment.
+  double max_term = kNegInf;
+  for (int64_t k = lo; k <= hi; ++k) {
+    max_term = std::max(max_term, Log2Binomial(n, k));
+  }
+  if (max_term == kNegInf) return kNegInf;
+  double sum = 0.0;
+  for (int64_t k = lo; k <= hi; ++k) {
+    sum += std::exp2(Log2Binomial(n, k) - max_term);
+  }
+  return max_term + std::log2(sum);
+}
+
+uint64_t BinomialOrSaturate(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (int64_t i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i, checking for overflow at each step.
+    uint64_t numer = static_cast<uint64_t>(n - k + i);
+    if (result > std::numeric_limits<uint64_t>::max() / numer) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    result = result * numer / static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+bool NearlyEqual(double a, double b, double tol) {
+  return std::abs(a - b) <= tol;
+}
+
+}  // namespace pb

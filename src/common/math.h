@@ -1,0 +1,32 @@
+// Combinatorial helpers for the cardinality-pruning search-space math (§4.1
+// of the paper): with n candidate tuples and cardinality bounds [l, u], the
+// candidate-package count shrinks from 2^n to sum_{k=l..u} C(n, k). The
+// counts overflow quickly, so everything is computed in log2 space.
+
+#ifndef PB_COMMON_MATH_H_
+#define PB_COMMON_MATH_H_
+
+#include <cstdint>
+
+namespace pb {
+
+/// log2(n!) via lgamma. Requires n >= 0.
+double Log2Factorial(int64_t n);
+
+/// log2(C(n, k)); returns -infinity when k < 0 or k > n.
+double Log2Binomial(int64_t n, int64_t k);
+
+/// log2( sum_{k=lo..hi} C(n, k) ), clamping [lo, hi] to [0, n].
+/// Returns -infinity for an empty range. This is the size of the pruned
+/// search space from §4.1 of the paper.
+double Log2BinomialSum(int64_t n, int64_t lo, int64_t hi);
+
+/// Exact C(n, k) while it fits in uint64; saturates to UINT64_MAX.
+uint64_t BinomialOrSaturate(int64_t n, int64_t k);
+
+/// True if |a - b| <= tol.
+bool NearlyEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace pb
+
+#endif  // PB_COMMON_MATH_H_

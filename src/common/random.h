@@ -1,0 +1,85 @@
+// Seeded random-number utilities.
+//
+// Every randomized component in PackageBuilder (data generators, local-search
+// restarts, adaptive exploration) takes an explicit Rng so that tests and
+// benches are reproducible bit-for-bit.
+
+#ifndef PB_COMMON_RANDOM_H_
+#define PB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pb {
+
+/// Deterministic pseudo-random source (mt19937_64 under the hood).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    PB_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Normal draw with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal draw parameterized by the underlying normal.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform index into a container of the given size. Requires size > 0.
+  size_t Index(size_t size) {
+    PB_DCHECK(size > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(size) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    PB_DCHECK(k <= n);
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    // Partial Fisher-Yates: the first k slots become the sample.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + Index(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pb
+
+#endif  // PB_COMMON_RANDOM_H_

@@ -1,0 +1,158 @@
+// Status / Result<T>: the error model used across all PackageBuilder modules.
+//
+// No exceptions cross public API boundaries (Google C++ style; the idiom
+// follows RocksDB's Status and Arrow's Result). Fallible functions return
+// either a Status (no payload) or a Result<T> (payload or error).
+
+#ifndef PB_COMMON_STATUS_H_
+#define PB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pb {
+
+/// Machine-readable error categories for Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< Named entity (table, column, variable) absent.
+  kAlreadyExists,     ///< Attempt to redefine an existing entity.
+  kOutOfRange,        ///< Index or bound outside the valid domain.
+  kUnimplemented,     ///< Feature recognized but not supported by this path.
+  kInternal,          ///< Invariant violation inside the library.
+  kParseError,        ///< PaQL / CSV / LP text could not be parsed.
+  kTypeError,         ///< Expression or schema type mismatch.
+  kInfeasible,        ///< No package/solution satisfies the constraints.
+  kUnbounded,         ///< Objective can be improved without limit.
+  kResourceExhausted, ///< Node/time/iteration budget exceeded.
+};
+
+/// Returns a short stable name for a code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value with a message. Cheap to copy on success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status Infeasible(std::string m) {
+    return Status(StatusCode::kInfeasible, std::move(m));
+  }
+  static Status Unbounded(std::string m) {
+    return Status(StatusCode::kUnbounded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds both.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error Status. Must not be OK.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(var_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace pb
+
+/// Propagates a non-OK Status from `expr` out of the enclosing function.
+#define PB_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::pb::Status _pb_status = (expr);              \
+    if (!_pb_status.ok()) return _pb_status;       \
+  } while (0)
+
+#define PB_STATUS_CONCAT_INNER_(x, y) x##y
+#define PB_STATUS_CONCAT_(x, y) PB_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define PB_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  PB_ASSIGN_OR_RETURN_IMPL_(                                         \
+      PB_STATUS_CONCAT_(_pb_result_, __LINE__), lhs, rexpr)
+
+#define PB_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#endif  // PB_COMMON_STATUS_H_

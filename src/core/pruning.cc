@@ -1,0 +1,154 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math.h"
+
+namespace pb::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+}  // namespace
+
+std::string CardinalityBounds::ToString() const {
+  if (infeasible) return "[infeasible]";
+  std::string hi_s = hi == INT64_MAX ? "inf" : std::to_string(hi);
+  return "[" + std::to_string(lo) + ", " + hi_s + "]";
+}
+
+Result<std::vector<double>> ComputeAggWeights(
+    const paql::AggCall& agg, const db::Table& table,
+    const std::vector<size_t>& rows) {
+  std::vector<double> w(rows.size(), 0.0);
+  if (agg.func == db::AggFunc::kCount && !agg.arg) {
+    std::fill(w.begin(), w.end(), 1.0);
+    return w;
+  }
+  if (!agg.arg) {
+    return Status::InvalidArgument("aggregate requires an argument");
+  }
+  db::ExprPtr bound = agg.arg->Clone();
+  PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PB_ASSIGN_OR_RETURN(db::Value v, bound->Eval(table.row(rows[i])));
+    switch (agg.func) {
+      case db::AggFunc::kCount:
+        w[i] = v.is_null() ? 0.0 : 1.0;
+        break;
+      case db::AggFunc::kSum: {
+        if (v.is_null()) {
+          w[i] = 0.0;
+        } else {
+          PB_ASSIGN_OR_RETURN(w[i], v.ToDouble());
+        }
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            std::string(db::AggFuncToString(agg.func)) +
+            " has no per-tuple linear weight");
+    }
+  }
+  return w;
+}
+
+Result<CardinalityBounds> DeriveCardinalityBounds(
+    const paql::AnalyzedQuery& aq, const std::vector<size_t>& candidates) {
+  CardinalityBounds out;
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  const int64_t k = aq.max_multiplicity;
+  const int64_t max_occurrences = n * k;
+
+  out.lo = 0;
+  out.hi = max_occurrences;
+
+  // Per-tuple weights of every canonical aggregate, computed once.
+  std::vector<std::vector<double>> weights(aq.aggs.size());
+  for (size_t a = 0; a < aq.aggs.size(); ++a) {
+    PB_ASSIGN_OR_RETURN(weights[a],
+                        ComputeAggWeights(aq.aggs[a], *aq.table, candidates));
+  }
+
+  for (const paql::LinearConstraint& lc : aq.linear_constraints) {
+    // Combined per-tuple weight w_i = sum_k coeff_k * weight_k(i).
+    double wmin = kInf, wmax = -kInf;
+    if (n == 0) {
+      wmin = wmax = 0.0;
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        double w = 0.0;
+        for (const paql::LinearAggTerm& t : lc.terms) {
+          w += t.coeff * weights[t.agg_index][i];
+        }
+        wmin = std::min(wmin, w);
+        wmax = std::max(wmax, w);
+      }
+    }
+
+    // A package with c occurrences has weighted sum in [c*wmin, c*wmax];
+    // feasible c must satisfy  c*wmin <= hi  and  c*wmax >= lo.
+    int64_t c_lo = 0, c_hi = max_occurrences;
+
+    // c * wmax >= lo  (lower cardinality bound; the paper's l).
+    if (lc.lo != -kInf) {
+      if (wmax > kEps) {
+        if (lc.lo > 0) {
+          c_lo = std::max(
+              c_lo, static_cast<int64_t>(std::ceil(lc.lo / wmax - kEps)));
+        }
+      } else if (wmax < -kEps) {
+        // All weights negative: the sum only decreases with c.
+        if (lc.lo > 0) {
+          out.infeasible = true;  // positive lower bound unreachable
+        } else {
+          c_hi = std::min(
+              c_hi, static_cast<int64_t>(std::floor(lc.lo / wmax + kEps)));
+        }
+      } else {  // wmax ~ 0
+        if (lc.lo > kEps) out.infeasible = true;
+      }
+    }
+
+    // c * wmin <= hi  (upper cardinality bound; the paper's u).
+    if (lc.hi != kInf) {
+      if (wmin > kEps) {
+        if (lc.hi < 0) {
+          out.infeasible = true;  // positive-weight sum cannot be negative
+        } else {
+          c_hi = std::min(
+              c_hi, static_cast<int64_t>(std::floor(lc.hi / wmin + kEps)));
+        }
+      } else if (wmin < -kEps) {
+        if (lc.hi < 0) {
+          c_lo = std::max(
+              c_lo, static_cast<int64_t>(std::ceil(lc.hi / wmin - kEps)));
+        }
+      } else {  // wmin ~ 0
+        if (lc.hi < -kEps) out.infeasible = true;
+      }
+    }
+
+    out.lo = std::max(out.lo, c_lo);
+    out.hi = std::min(out.hi, c_hi);
+  }
+
+  if (out.lo > out.hi) out.infeasible = true;
+
+  // Search-space accounting (§4.1's headline formula). With REPEAT k > 1 we
+  // approximate by treating each tuple as k occurrence slots.
+  int64_t slots = max_occurrences;
+  out.log2_unpruned =
+      n > 0 ? static_cast<double>(n) * std::log2(1.0 + static_cast<double>(k))
+            : 0.0;
+  if (out.infeasible) {
+    out.log2_pruned = -kInf;
+  } else {
+    out.log2_pruned = Log2BinomialSum(slots, out.lo, std::min(out.hi, slots));
+  }
+  return out;
+}
+
+}  // namespace pb::core

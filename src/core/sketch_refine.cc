@@ -1,0 +1,320 @@
+#include "core/sketch_refine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "core/pruning.h"
+#include "db/ops.h"
+
+namespace pb::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One linear requirement over candidate positions (query constraints plus
+/// the synthetic non-empty row).
+struct Row {
+  std::vector<double> w;  // per candidate position
+  double lo = -kInf;
+  double hi = kInf;
+  std::string name;
+};
+
+/// Recursive median split over one index range [begin, end) of `order`.
+void SplitRange(const std::vector<std::vector<double>>& features,
+                std::vector<size_t>& order, size_t begin, size_t end,
+                size_t partition_size,
+                std::vector<std::vector<size_t>>* groups) {
+  size_t count = end - begin;
+  if (count <= partition_size) {
+    groups->emplace_back(order.begin() + begin, order.begin() + end);
+    return;
+  }
+  // Pick the dimension with the largest spread inside this range.
+  size_t dims = features.empty() ? 0 : features[0].size();
+  size_t best_dim = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dims; ++d) {
+    double mn = kInf, mx = -kInf;
+    for (size_t i = begin; i < end; ++i) {
+      double v = features[order[i]][d];
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    if (mx - mn > best_spread) {
+      best_spread = mx - mn;
+      best_dim = d;
+    }
+  }
+  size_t mid = begin + count / 2;
+  if (best_spread <= 0.0 || dims == 0) {
+    // All-identical features: split positionally.
+    SplitRange(features, order, begin, mid, partition_size, groups);
+    SplitRange(features, order, mid, end, partition_size, groups);
+    return;
+  }
+  std::nth_element(order.begin() + begin, order.begin() + mid,
+                   order.begin() + end, [&](size_t a, size_t b) {
+                     return features[a][best_dim] < features[b][best_dim];
+                   });
+  SplitRange(features, order, begin, mid, partition_size, groups);
+  SplitRange(features, order, mid, end, partition_size, groups);
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> PartitionCandidates(
+    const std::vector<std::vector<double>>& features, size_t partition_size) {
+  std::vector<std::vector<size_t>> groups;
+  if (features.empty()) return groups;
+  partition_size = std::max<size_t>(partition_size, 1);
+  std::vector<size_t> order(features.size());
+  std::iota(order.begin(), order.end(), 0);
+  SplitRange(features, order, 0, order.size(), partition_size, &groups);
+  return groups;
+}
+
+Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
+                                        const SketchRefineOptions& options) {
+  if (!aq.ilp_translatable || (aq.has_objective && !aq.objective_linear)) {
+    return Status::Unimplemented(
+        "SketchRefine requires an ILP-translatable query");
+  }
+  if (!aq.extreme_constraints.empty()) {
+    return Status::Unimplemented(
+        "SketchRefine does not support MIN/MAX global constraints "
+        "(representatives do not preserve extremes)");
+  }
+
+  SketchRefineResult out;
+  Stopwatch phase_timer;
+
+  // ---- Candidates, weights, rows.
+  PB_ASSIGN_OR_RETURN(std::vector<size_t> candidates,
+                      db::FilterIndices(*aq.table, aq.query.where));
+  const size_t n = candidates.size();
+  if (n == 0) {
+    // Only the empty package is possible.
+    Package empty;
+    PB_ASSIGN_OR_RETURN(bool valid, SatisfiesGlobalConstraints(aq, empty));
+    out.found = valid;
+    return out;
+  }
+
+  std::vector<std::vector<double>> agg_w(aq.aggs.size());
+  for (size_t a = 0; a < aq.aggs.size(); ++a) {
+    PB_ASSIGN_OR_RETURN(agg_w[a],
+                        ComputeAggWeights(aq.aggs[a], *aq.table, candidates));
+  }
+  std::vector<Row> rows;
+  for (const paql::LinearConstraint& lc : aq.linear_constraints) {
+    Row row;
+    row.w.assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (const paql::LinearAggTerm& t : lc.terms) {
+        row.w[i] += t.coeff * agg_w[t.agg_index][i];
+      }
+    }
+    row.lo = lc.lo;
+    row.hi = lc.hi;
+    row.name = lc.source_text;
+    rows.push_back(std::move(row));
+  }
+  if (aq.requires_nonempty) {
+    Row row;
+    row.w.assign(n, 1.0);
+    row.lo = 1.0;
+    row.name = "nonempty";
+    rows.push_back(std::move(row));
+  }
+  std::vector<double> obj_w(n, 0.0);
+  if (aq.has_objective) {
+    for (const paql::LinearAggTerm& t : aq.objective_terms) {
+      for (size_t i = 0; i < n; ++i) obj_w[i] += t.coeff * agg_w[t.agg_index][i];
+    }
+  }
+  const auto sense = aq.has_objective && !aq.maximize
+                         ? solver::ObjectiveSense::kMinimize
+                         : solver::ObjectiveSense::kMaximize;
+
+  // ---- Offline partitioning on normalized (constraint-weight, objective)
+  // feature space: tuples similar on every dimension the query touches end
+  // up in one group, which is what lets a representative stand in for them.
+  std::vector<std::vector<double>> features(n);
+  {
+    size_t dims = rows.size() + (aq.has_objective ? 1 : 0);
+    std::vector<double> mn(dims, kInf), mx(dims, -kInf);
+    for (size_t i = 0; i < n; ++i) {
+      features[i].resize(dims);
+      for (size_t r = 0; r < rows.size(); ++r) features[i][r] = rows[r].w[i];
+      if (aq.has_objective) features[i][rows.size()] = obj_w[i];
+      for (size_t d = 0; d < dims; ++d) {
+        mn[d] = std::min(mn[d], features[i][d]);
+        mx[d] = std::max(mx[d], features[i][d]);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t d = 0; d < dims; ++d) {
+        double span = mx[d] - mn[d];
+        features[i][d] = span > 0 ? (features[i][d] - mn[d]) / span : 0.0;
+      }
+    }
+  }
+  std::vector<std::vector<size_t>> groups =
+      PartitionCandidates(features, options.partition_size);
+  out.num_partitions = groups.size();
+
+  // Representative: the member closest to the group's feature centroid.
+  std::vector<size_t> rep(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const auto& members = groups[g];
+    size_t dims = features[0].size();
+    std::vector<double> centroid(dims, 0.0);
+    for (size_t i : members) {
+      for (size_t d = 0; d < dims; ++d) centroid[d] += features[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(members.size());
+    double best = kInf;
+    for (size_t i : members) {
+      double dist = 0.0;
+      for (size_t d = 0; d < dims; ++d) {
+        double delta = features[i][d] - centroid[d];
+        dist += delta * delta;
+      }
+      if (dist < best) {
+        best = dist;
+        rep[g] = i;
+      }
+    }
+  }
+  out.partition_seconds = phase_timer.ElapsedSeconds();
+
+  // ---- Sketch (+ refine, with backtracking over excluded groups).
+  std::vector<bool> excluded(groups.size(), false);
+  for (int attempt = 0; attempt <= options.max_backtracks; ++attempt) {
+    // Sketch model: one integer variable per (non-excluded) group.
+    phase_timer.Restart();
+    solver::LpModel sketch;
+    sketch.SetSense(sense);
+    std::vector<int> var_of_group(groups.size(), -1);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (excluded[g]) continue;
+      double cap = static_cast<double>(groups[g].size()) *
+                   static_cast<double>(aq.max_multiplicity);
+      var_of_group[g] =
+          sketch.AddVariable("g" + std::to_string(g), 0.0, cap,
+                             obj_w[rep[g]], /*is_integer=*/true);
+    }
+    for (const Row& row : rows) {
+      std::vector<solver::LinearTerm> terms;
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (var_of_group[g] >= 0 && row.w[rep[g]] != 0.0) {
+          terms.push_back({var_of_group[g], row.w[rep[g]]});
+        }
+      }
+      sketch.AddConstraint(row.name, std::move(terms), row.lo, row.hi);
+    }
+    if (sketch.num_variables() == 0) break;
+    out.sketch_variables = sketch.num_variables();
+    PB_ASSIGN_OR_RETURN(solver::MilpResult sk,
+                        solver::SolveMilp(sketch, options.milp));
+    out.sketch_seconds += phase_timer.ElapsedSeconds();
+    if (!sk.has_solution()) break;  // sketch infeasible: give up
+
+    std::vector<int64_t> group_mult(groups.size(), 0);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (var_of_group[g] >= 0) {
+        group_mult[g] =
+            static_cast<int64_t>(std::llround(sk.x[var_of_group[g]]));
+      }
+    }
+
+    // Refine groups in decreasing sketch-multiplicity order.
+    phase_timer.Restart();
+    std::vector<size_t> refine_order;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (group_mult[g] > 0) refine_order.push_back(g);
+    }
+    std::sort(refine_order.begin(), refine_order.end(),
+              [&](size_t a, size_t b) { return group_mult[a] > group_mult[b]; });
+
+    // Current per-candidate multiplicities: refined groups hold real
+    // tuples; unrefined groups approximate with their representative.
+    std::vector<int64_t> mult(n, 0);
+    for (size_t g : refine_order) mult[rep[g]] += group_mult[g];
+
+    bool failed_group = false;
+    size_t failed_g = 0;
+    for (size_t g : refine_order) {
+      // Remove this group's current (representative) contribution.
+      mult[rep[g]] -= group_mult[g];
+
+      // Residual bounds: what the group must deliver given everyone else.
+      solver::LpModel sub;
+      sub.SetSense(sense);
+      std::vector<int> var_of_member(groups[g].size(), -1);
+      for (size_t k = 0; k < groups[g].size(); ++k) {
+        var_of_member[k] = sub.AddVariable(
+            "m" + std::to_string(k), 0.0,
+            static_cast<double>(aq.max_multiplicity), obj_w[groups[g][k]],
+            /*is_integer=*/true);
+      }
+      for (const Row& row : rows) {
+        double others = 0.0;
+        for (size_t i = 0; i < n; ++i) others += row.w[i] * mult[i];
+        std::vector<solver::LinearTerm> terms;
+        for (size_t k = 0; k < groups[g].size(); ++k) {
+          if (row.w[groups[g][k]] != 0.0) {
+            terms.push_back({var_of_member[k], row.w[groups[g][k]]});
+          }
+        }
+        sub.AddConstraint(row.name, std::move(terms),
+                          row.lo == -kInf ? -kInf : row.lo - others,
+                          row.hi == kInf ? kInf : row.hi - others);
+      }
+      ++out.refine_ilps_solved;
+      PB_ASSIGN_OR_RETURN(solver::MilpResult sr,
+                          solver::SolveMilp(sub, options.milp));
+      if (!sr.has_solution()) {
+        failed_group = true;
+        failed_g = g;
+        break;
+      }
+      for (size_t k = 0; k < groups[g].size(); ++k) {
+        mult[groups[g][k]] +=
+            static_cast<int64_t>(std::llround(sr.x[var_of_member[k]]));
+      }
+    }
+    out.refine_seconds += phase_timer.ElapsedSeconds();
+
+    if (failed_group) {
+      excluded[failed_g] = true;
+      ++out.backtracks;
+      continue;
+    }
+
+    Package pkg;
+    for (size_t i = 0; i < n; ++i) {
+      if (mult[i] > 0) pkg.Add(candidates[i], mult[i]);
+    }
+    PB_ASSIGN_OR_RETURN(bool valid, IsValidPackage(aq, pkg));
+    if (!valid) {
+      // Should not happen (the last refinement enforces exact residuals);
+      // treat defensively as a failed attempt.
+      ++out.backtracks;
+      continue;
+    }
+    out.found = true;
+    PB_ASSIGN_OR_RETURN(out.objective, PackageObjective(aq, pkg));
+    out.package = std::move(pkg);
+    return out;
+  }
+
+  return out;  // found == false: sketch/refine failed within the budget
+}
+
+}  // namespace pb::core

@@ -1,0 +1,70 @@
+// SketchRefine: scalable approximate package evaluation.
+//
+// The demo paper's Challenges section (§5) calls for principled scaling of
+// package evaluation beyond what one monolithic ILP can handle; the
+// follow-up PaQL paper (Brucato et al., VLDB 2016) answers with
+// SketchRefine, implemented here as the engine's scalability extension:
+//
+//   Offline  PARTITION the candidate tuples into groups of at most tau
+//            tuples that are similar on the attributes the query
+//            aggregates; pick one representative per group.
+//   Sketch   Solve the package query over the representatives only, where
+//            a representative may repeat up to its group's size — an ILP
+//            with n/tau variables instead of n.
+//   Refine   Group by group, replace a representative's multiplicity m_g
+//            with real tuples from that group by solving a small ILP over
+//            the group's members with all other groups' contributions
+//            fixed; greedy with one level of backtracking (a failed group
+//            is excluded from the sketch and the process restarts).
+//
+// The result is validated against the original query; approximation shows
+// up only in the objective value, which the E6 bench compares to Direct.
+
+#ifndef PB_CORE_SKETCH_REFINE_H_
+#define PB_CORE_SKETCH_REFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/package.h"
+#include "solver/milp.h"
+
+namespace pb::core {
+
+struct SketchRefineOptions {
+  /// Maximum tuples per partition (tau). Smaller = finer approximation,
+  /// larger sketch model.
+  size_t partition_size = 64;
+  /// Backtracking budget: how many failed groups may be excluded from the
+  /// sketch before giving up.
+  int max_backtracks = 4;
+  solver::MilpOptions milp;
+};
+
+struct SketchRefineResult {
+  bool found = false;
+  Package package;
+  double objective = 0.0;
+  size_t num_partitions = 0;
+  size_t sketch_variables = 0;
+  int backtracks = 0;
+  int64_t refine_ilps_solved = 0;
+  double partition_seconds = 0.0;
+  double sketch_seconds = 0.0;
+  double refine_seconds = 0.0;
+};
+
+/// Offline partitioning, exposed for reuse across queries on the same
+/// table (the 2016 paper's "offline" phase). `features` are per-candidate
+/// numeric vectors; groups have at most `partition_size` members.
+std::vector<std::vector<size_t>> PartitionCandidates(
+    const std::vector<std::vector<double>>& features, size_t partition_size);
+
+/// Runs Sketch + Refine for an ILP-translatable query.
+Result<SketchRefineResult> SketchRefine(
+    const paql::AnalyzedQuery& aq, const SketchRefineOptions& options = {});
+
+}  // namespace pb::core
+
+#endif  // PB_CORE_SKETCH_REFINE_H_

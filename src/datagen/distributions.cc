@@ -1,0 +1,61 @@
+#include "datagen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pb::datagen {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  PB_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformReal(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+double ClampedNormal(Rng& rng, double mean, double stddev, double lo,
+                     double hi) {
+  return std::clamp(rng.Normal(mean, stddev), lo, hi);
+}
+
+double ClampedLogNormal(Rng& rng, double mu, double sigma, double lo,
+                        double hi) {
+  return std::clamp(rng.LogNormal(mu, sigma), lo, hi);
+}
+
+const std::string& UniformChoice(Rng& rng,
+                                 const std::vector<std::string>& choices) {
+  PB_CHECK(!choices.empty());
+  return choices[rng.Index(choices.size())];
+}
+
+size_t WeightedChoice(Rng& rng, const std::vector<double>& weights) {
+  PB_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = rng.UniformReal(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+double RoundTo(double v, int decimals) {
+  double f = std::pow(10.0, decimals);
+  return std::round(v * f) / f;
+}
+
+}  // namespace pb::datagen

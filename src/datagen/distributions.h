@@ -1,0 +1,49 @@
+// Distribution toolkit for the synthetic workload generators.
+//
+// Everything is seeded and deterministic: the same (n, seed) always
+// produces the same table, so tests and benches are reproducible.
+
+#ifndef PB_DATAGEN_DISTRIBUTIONS_H_
+#define PB_DATAGEN_DISTRIBUTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pb::datagen {
+
+/// Zipf(s) over ranks 1..n via a precomputed CDF (exact inverse-CDF
+/// sampling; n is bounded in our generators so the table stays small).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  /// Returns a rank in [1, n].
+  size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Normal draw clamped to [lo, hi].
+double ClampedNormal(Rng& rng, double mean, double stddev, double lo,
+                     double hi);
+
+/// Log-normal draw clamped to [lo, hi].
+double ClampedLogNormal(Rng& rng, double mu, double sigma, double lo,
+                        double hi);
+
+/// Picks one of `choices` uniformly.
+const std::string& UniformChoice(Rng& rng,
+                                 const std::vector<std::string>& choices);
+
+/// Picks index i with probability weights[i] / sum(weights).
+size_t WeightedChoice(Rng& rng, const std::vector<double>& weights);
+
+/// Rounds to `decimals` decimal places (generators emit tidy numbers).
+double RoundTo(double v, int decimals);
+
+}  // namespace pb::datagen
+
+#endif  // PB_DATAGEN_DISTRIBUTIONS_H_

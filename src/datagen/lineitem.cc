@@ -1,0 +1,47 @@
+#include "datagen/lineitem.h"
+
+#include "datagen/distributions.h"
+
+namespace pb::datagen {
+
+db::Table GenerateLineitems(size_t n, uint64_t seed) {
+  db::Schema schema({{"id", db::ValueType::kInt},
+                     {"partkey", db::ValueType::kInt},
+                     {"quantity", db::ValueType::kDouble},
+                     {"extendedprice", db::ValueType::kDouble},
+                     {"discount", db::ValueType::kDouble},
+                     {"tax", db::ValueType::kDouble},
+                     {"revenue", db::ValueType::kDouble},
+                     {"shipmode", db::ValueType::kString},
+                     {"returnflag", db::ValueType::kString}});
+  static const std::vector<std::string> kModes = {
+      "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR",
+  };
+  static const std::vector<std::string> kFlags = {"A", "N", "R"};
+  db::Table table("lineitem", std::move(schema));
+  Rng rng(seed);
+  // Part popularity is Zipfian, like real order data.
+  ZipfDistribution part_zipf(std::max<size_t>(n / 4, 1), 1.1);
+  for (size_t i = 0; i < n; ++i) {
+    double quantity = static_cast<double>(rng.UniformInt(1, 50));
+    double unit_price = ClampedLogNormal(rng, std::log(1200.0), 0.6, 100,
+                                         20000);
+    double extendedprice = RoundTo(quantity * unit_price / 50.0, 2);
+    double discount = RoundTo(rng.UniformInt(0, 10) / 100.0, 2);
+    double tax = RoundTo(rng.UniformInt(0, 8) / 100.0, 2);
+    db::Tuple row;
+    row.push_back(db::Value::Int(static_cast<int64_t>(i)));
+    row.push_back(db::Value::Int(static_cast<int64_t>(part_zipf.Sample(rng))));
+    row.push_back(db::Value::Double(quantity));
+    row.push_back(db::Value::Double(extendedprice));
+    row.push_back(db::Value::Double(discount));
+    row.push_back(db::Value::Double(tax));
+    row.push_back(db::Value::Double(RoundTo(extendedprice * (1 - discount), 2)));
+    row.push_back(db::Value::String(kModes[rng.Index(kModes.size())]));
+    row.push_back(db::Value::String(kFlags[rng.Index(kFlags.size())]));
+    table.AppendUnchecked(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace pb::datagen

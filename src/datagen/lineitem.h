@@ -1,0 +1,24 @@
+// TPC-H-style lineitem generator (scaled-down) for the scalability
+// experiments: the follow-up PaQL evaluation uses TPC-H, so E6's
+// Direct-vs-SketchRefine sweep runs over this relation.
+//
+// Schema:
+//   id INT, partkey INT, quantity DOUBLE, extendedprice DOUBLE,
+//   discount DOUBLE, tax DOUBLE, revenue DOUBLE (price*(1-discount)),
+//   shipmode STRING, returnflag STRING
+
+#ifndef PB_DATAGEN_LINEITEM_H_
+#define PB_DATAGEN_LINEITEM_H_
+
+#include <cstdint>
+
+#include "db/table.h"
+
+namespace pb::datagen {
+
+/// Generates `n` lineitem rows with the given seed.
+db::Table GenerateLineitems(size_t n, uint64_t seed);
+
+}  // namespace pb::datagen
+
+#endif  // PB_DATAGEN_LINEITEM_H_

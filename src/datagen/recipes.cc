@@ -1,0 +1,89 @@
+#include "datagen/recipes.h"
+
+#include "common/logging.h"
+#include "datagen/distributions.h"
+
+namespace pb::datagen {
+
+namespace {
+
+const std::vector<std::string>& Cuisines() {
+  static const std::vector<std::string> kCuisines = {
+      "italian", "mexican", "japanese", "indian",
+      "french",  "greek",   "thai",     "american",
+  };
+  return kCuisines;
+}
+
+const std::vector<std::string>& Bases() {
+  static const std::vector<std::string> kBases = {
+      "chicken", "tofu",  "salmon", "beef",   "lentil",
+      "quinoa",  "pasta", "rice",   "veggie", "egg",
+  };
+  return kBases;
+}
+
+const std::vector<std::string>& Styles() {
+  static const std::vector<std::string> kStyles = {
+      "bowl", "salad", "curry", "stew", "bake", "wrap", "soup", "stirfry",
+  };
+  return kStyles;
+}
+
+}  // namespace
+
+db::Table GenerateRecipes(size_t n, uint64_t seed,
+                          const RecipeOptions& options) {
+  db::Schema schema({{"id", db::ValueType::kInt},
+                     {"name", db::ValueType::kString},
+                     {"cuisine", db::ValueType::kString},
+                     {"gluten", db::ValueType::kString},
+                     {"calories", db::ValueType::kDouble},
+                     {"protein", db::ValueType::kDouble},
+                     {"fat", db::ValueType::kDouble},
+                     {"carbs", db::ValueType::kDouble},
+                     {"sugar", db::ValueType::kDouble},
+                     {"sodium", db::ValueType::kDouble},
+                     {"cost", db::ValueType::kDouble},
+                     {"rating", db::ValueType::kDouble}});
+  db::Table table("recipes", std::move(schema));
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    // Macro profile: calories are roughly log-normal around a ~550 kcal
+    // meal; macros are drawn consistently with the calorie total
+    // (4 kcal/g protein & carbs, 9 kcal/g fat, imprecise like real data).
+    double calories = ClampedLogNormal(rng, std::log(550.0), 0.45, 90, 1600);
+    double protein_share = rng.UniformReal(0.10, 0.40);
+    double fat_share = rng.UniformReal(0.15, 0.45);
+    double carb_share = std::max(0.05, 1.0 - protein_share - fat_share);
+    double protein = RoundTo(calories * protein_share / 4.0, 1);
+    double fat = RoundTo(calories * fat_share / 9.0, 1);
+    double carbs = RoundTo(calories * carb_share / 4.0, 1);
+    double sugar = RoundTo(carbs * rng.UniformReal(0.05, 0.5), 1);
+    double sodium = RoundTo(ClampedNormal(rng, 650, 350, 10, 2400), 0);
+    double cost = RoundTo(ClampedLogNormal(rng, std::log(9.0), 0.5, 2, 60), 2);
+    double rating = RoundTo(ClampedNormal(rng, 3.9, 0.7, 1.0, 5.0), 1);
+    std::string gluten =
+        rng.Bernoulli(options.gluten_free_fraction) ? "free" : "full";
+    std::string name = UniformChoice(rng, Bases()) + "_" +
+                       UniformChoice(rng, Styles()) + "_" +
+                       std::to_string(i);
+    db::Tuple row;
+    row.push_back(db::Value::Int(static_cast<int64_t>(i)));
+    row.push_back(db::Value::String(std::move(name)));
+    row.push_back(db::Value::String(UniformChoice(rng, Cuisines())));
+    row.push_back(db::Value::String(std::move(gluten)));
+    row.push_back(db::Value::Double(RoundTo(calories, 0)));
+    row.push_back(db::Value::Double(protein));
+    row.push_back(db::Value::Double(fat));
+    row.push_back(db::Value::Double(carbs));
+    row.push_back(db::Value::Double(sugar));
+    row.push_back(db::Value::Double(sodium));
+    row.push_back(db::Value::Double(cost));
+    row.push_back(db::Value::Double(rating));
+    table.AppendUnchecked(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace pb::datagen

@@ -1,0 +1,71 @@
+#include "datagen/travel.h"
+
+#include "datagen/distributions.h"
+
+namespace pb::datagen {
+
+namespace {
+
+const std::vector<std::string>& Destinations(size_t limit) {
+  static const std::vector<std::string> kAll = {
+      "maui",   "cancun",  "bali",     "fiji",
+      "aruba",  "phuket",  "barbados", "maldives",
+  };
+  static std::vector<std::string> trimmed;
+  trimmed.assign(kAll.begin(), kAll.begin() + std::min(limit, kAll.size()));
+  return trimmed;
+}
+
+}  // namespace
+
+db::Table GenerateTravelItems(size_t n, uint64_t seed,
+                              const TravelOptions& options) {
+  db::Schema schema({{"id", db::ValueType::kInt},
+                     {"kind", db::ValueType::kString},
+                     {"dest", db::ValueType::kString},
+                     {"price", db::ValueType::kDouble},
+                     {"is_flight", db::ValueType::kInt},
+                     {"is_hotel", db::ValueType::kInt},
+                     {"is_car", db::ValueType::kInt},
+                     {"beach_km", db::ValueType::kDouble},
+                     {"comfort", db::ValueType::kDouble}});
+  db::Table table("travel_items", std::move(schema));
+  Rng rng(seed);
+  const auto& dests = Destinations(options.num_destinations);
+  for (size_t i = 0; i < n; ++i) {
+    double pick = rng.UniformReal(0.0, 1.0);
+    std::string kind;
+    double price, beach_km = 0.0, comfort;
+    if (pick < options.flight_fraction) {
+      kind = "flight";
+      price = RoundTo(ClampedLogNormal(rng, std::log(420.0), 0.5, 90, 2400), 2);
+      comfort = RoundTo(ClampedNormal(rng, 3.2, 0.8, 1, 5), 1);
+    } else if (pick < options.flight_fraction + options.hotel_fraction) {
+      kind = "hotel";
+      // Price per stay (multi-night bundle). Beach distance correlates
+      // inversely with price: beachfront costs more.
+      beach_km = RoundTo(ClampedLogNormal(rng, std::log(1.2), 1.0, 0.05, 25), 2);
+      double base = 900.0 / (1.0 + beach_km);
+      price = RoundTo(ClampedNormal(rng, 280 + base, 140, 60, 2600), 2);
+      comfort = RoundTo(ClampedNormal(rng, 3.8, 0.7, 1, 5), 1);
+    } else {
+      kind = "car";
+      price = RoundTo(ClampedNormal(rng, 180, 70, 40, 600), 2);
+      comfort = RoundTo(ClampedNormal(rng, 3.0, 0.6, 1, 5), 1);
+    }
+    db::Tuple row;
+    row.push_back(db::Value::Int(static_cast<int64_t>(i)));
+    row.push_back(db::Value::String(kind));
+    row.push_back(db::Value::String(dests[rng.Index(dests.size())]));
+    row.push_back(db::Value::Double(price));
+    row.push_back(db::Value::Int(kind == "flight" ? 1 : 0));
+    row.push_back(db::Value::Int(kind == "hotel" ? 1 : 0));
+    row.push_back(db::Value::Int(kind == "car" ? 1 : 0));
+    row.push_back(db::Value::Double(kind == "hotel" ? beach_km : 0.0));
+    row.push_back(db::Value::Double(comfort));
+    table.AppendUnchecked(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace pb::datagen

@@ -1,0 +1,50 @@
+#include "db/catalog.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace pb::db {
+
+Status Catalog::Register(Table table) {
+  std::string key = AsciiToLower(table.name());
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table '" + table.name() + "' already exists");
+  }
+  tables_[key] = std::make_unique<Table>(std::move(table));
+  return Status::OK();
+}
+
+void Catalog::RegisterOrReplace(Table table) {
+  std::string key = AsciiToLower(table.name());
+  tables_[key] = std::make_unique<Table>(std::move(table));
+}
+
+Result<const Table*> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return tables_.count(AsciiToLower(name)) > 0;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (tables_.erase(AsciiToLower(name)) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace pb::db

@@ -1,0 +1,42 @@
+// Catalog: the named-table registry standing in for the DBMS PackageBuilder
+// talks to. Tables are owned by the catalog; queries reference them by name.
+
+#ifndef PB_DB_CATALOG_H_
+#define PB_DB_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace pb::db {
+
+/// Case-insensitive name -> Table registry.
+class Catalog {
+ public:
+  /// Registers a table; fails if the name is taken.
+  Status Register(Table table);
+
+  /// Replaces or inserts a table.
+  void RegisterOrReplace(Table table);
+
+  /// Looks up a table by (case-insensitive) name.
+  Result<const Table*> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  /// Registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace pb::db
+
+#endif  // PB_DB_CATALOG_H_

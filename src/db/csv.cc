@@ -1,0 +1,217 @@
+#include "db/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace pb::db {
+
+namespace {
+
+/// Splits one CSV line honoring double-quoted fields with "" escapes.
+std::vector<std::string> SplitCsvLine(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::istream& in, const std::string& table_name,
+                      const CsvOptions& options) {
+  std::vector<std::vector<std::string>> raw;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && raw.empty()) continue;  // skip leading blank lines
+    raw.push_back(SplitCsvLine(line, options.separator));
+  }
+  if (raw.empty()) {
+    return Status::ParseError("empty CSV input for table '" + table_name + "'");
+  }
+
+  std::vector<std::string> names;
+  size_t data_start = 0;
+  if (options.has_header) {
+    for (const auto& h : raw[0]) {
+      names.emplace_back(StripAsciiWhitespace(h));
+    }
+    data_start = 1;
+  } else {
+    for (size_t i = 0; i < raw[0].size(); ++i) {
+      names.push_back("c" + std::to_string(i));
+    }
+  }
+  size_t ncols = names.size();
+  for (size_t r = data_start; r < raw.size(); ++r) {
+    if (raw[r].size() != ncols) {
+      return Status::ParseError(
+          "CSV row " + std::to_string(r + 1) + " has " +
+          std::to_string(raw[r].size()) + " fields, expected " +
+          std::to_string(ncols));
+    }
+  }
+
+  // Infer a type per column: INT if all non-empty cells parse as ints,
+  // else DOUBLE if all parse as numbers, else STRING.
+  std::vector<ValueType> types(ncols, ValueType::kString);
+  if (options.infer_types) {
+    for (size_t c = 0; c < ncols; ++c) {
+      bool all_int = true, all_num = true, any = false;
+      for (size_t r = data_start; r < raw.size(); ++r) {
+        const std::string& cell = raw[r][c];
+        if (cell.empty()) continue;
+        any = true;
+        int64_t iv;
+        double dv;
+        if (!ParseInt(cell, &iv)) all_int = false;
+        if (!ParseDouble(cell, &dv)) {
+          all_num = false;
+          break;
+        }
+      }
+      if (!any) {
+        types[c] = ValueType::kString;
+      } else if (all_int) {
+        types[c] = ValueType::kInt;
+      } else if (all_num) {
+        types[c] = ValueType::kDouble;
+      }
+    }
+  }
+
+  Schema schema;
+  for (size_t c = 0; c < ncols; ++c) {
+    PB_RETURN_IF_ERROR(schema.AddColumn({names[c], types[c]}));
+  }
+  Table table(table_name, std::move(schema));
+  for (size_t r = data_start; r < raw.size(); ++r) {
+    Tuple row;
+    row.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = raw[r][c];
+      if (cell.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ValueType::kInt: {
+          int64_t v = 0;
+          ParseInt(cell, &v);
+          row.push_back(Value::Int(v));
+          break;
+        }
+        case ValueType::kDouble: {
+          double v = 0;
+          ParseDouble(cell, &v);
+          row.push_back(Value::Double(v));
+          break;
+        }
+        default:
+          row.push_back(Value::String(cell));
+      }
+    }
+    PB_RETURN_IF_ERROR(table.Append(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const std::string& table_name,
+                          const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  return ReadCsv(in, table_name, options);
+}
+
+Status WriteCsv(const Table& table, std::ostream& out,
+                const CsvOptions& options) {
+  auto quote = [&](const std::string& s) {
+    bool needs = s.find(options.separator) != std::string::npos ||
+                 s.find('"') != std::string::npos ||
+                 s.find('\n') != std::string::npos;
+    if (!needs) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += "\"\"";
+      else q += c;
+    }
+    q += "\"";
+    return q;
+  };
+  if (options.has_header) {
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      if (c > 0) out << options.separator;
+      out << quote(table.schema().column(c).name);
+    }
+    out << "\n";
+  }
+  for (const Tuple& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << options.separator;
+      if (!row[c].is_null()) out << quote(row[c].ToString());
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  return WriteCsv(table, out, options);
+}
+
+}  // namespace pb::db

@@ -1,0 +1,41 @@
+// CSV import/export with type inference, so example datasets and benchmark
+// workloads can be materialized to disk and reloaded.
+
+#ifndef PB_DB_CSV_H_
+#define PB_DB_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace pb::db {
+
+struct CsvOptions {
+  char separator = ',';
+  bool has_header = true;
+  /// When true, columns whose values all parse as INT become INT, else
+  /// DOUBLE if all numeric, else STRING. Empty cells become NULL.
+  bool infer_types = true;
+};
+
+/// Parses CSV text from a stream into a table.
+Result<Table> ReadCsv(std::istream& in, const std::string& table_name,
+                      const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const std::string& table_name,
+                          const CsvOptions& options = {});
+
+/// Writes a table as CSV (header + rows). NULLs become empty cells.
+Status WriteCsv(const Table& table, std::ostream& out,
+                const CsvOptions& options = {});
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace pb::db
+
+#endif  // PB_DB_CSV_H_

@@ -1,0 +1,116 @@
+// Expr: scalar expression trees over tuples — the engine's predicate and
+// arithmetic language. PaQL base constraints (WHERE) compile directly to
+// these trees; global-constraint inner expressions reuse them too.
+//
+// Semantics follow SQL: three-valued logic with NULL (comparisons against
+// NULL yield NULL; AND/OR use Kleene logic; a WHERE predicate accepts a row
+// only when it evaluates to definite TRUE).
+
+#ifndef PB_DB_EXPR_H_
+#define PB_DB_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/tuple.h"
+
+namespace pb::db {
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kBetween,  // lo <= arg <= hi, NOT-able
+  kIn,       // arg IN (list of literals), NOT-able
+  kIsNull,   // arg IS [NOT] NULL
+  kLike,     // arg [NOT] LIKE pattern
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+bool IsComparisonOp(BinaryOp op);
+bool IsArithmeticOp(BinaryOp op);
+bool IsLogicalOp(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// One node of an expression tree. Construct through the factory functions
+/// below; Bind() against a Schema before evaluating.
+class Expr {
+ public:
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string column_name;   // possibly qualified ("R.calories")
+  int column_index = -1;     // filled by Bind()
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  // Children: unary/is-null/like use child[0]; binary uses child[0..1];
+  // between uses child[0]=arg, child[1]=lo, child[2]=hi.
+  std::vector<ExprPtr> children;
+
+  // kIn
+  std::vector<Value> in_list;
+
+  // kLike
+  std::string like_pattern;
+
+  // kBetween / kIn / kLike / kIsNull negation flag (NOT BETWEEN etc.).
+  bool negated = false;
+
+  /// Resolves every column reference against `schema` (fills column_index).
+  Status Bind(const Schema& schema);
+
+  /// Evaluates over one tuple. Bind() must have succeeded first.
+  Result<Value> Eval(const Tuple& tuple) const;
+
+  /// True iff Eval yields BOOL TRUE (NULL and errors are not TRUE).
+  /// Errors are surfaced, NULL is treated as not-matching per SQL.
+  Result<bool> Matches(const Tuple& tuple) const;
+
+  /// SQL-ish rendering ("R.calories <= 500 AND R.gluten = 'free'").
+  std::string ToString() const;
+
+  /// Deep copy (Bind state included).
+  ExprPtr Clone() const;
+};
+
+// ----- Factories -----------------------------------------------------------
+
+ExprPtr Lit(Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string v);
+ExprPtr LitBool(bool v);
+ExprPtr Col(std::string name);
+ExprPtr Unary(UnaryOp op, ExprPtr child);
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Between(ExprPtr arg, ExprPtr lo, ExprPtr hi, bool negated = false);
+ExprPtr In(ExprPtr arg, std::vector<Value> list, bool negated = false);
+ExprPtr IsNull(ExprPtr arg, bool negated = false);
+ExprPtr Like(ExprPtr arg, std::string pattern, bool negated = false);
+
+/// a AND b, where either side may be null (returns the other).
+ExprPtr AndMaybe(ExprPtr a, ExprPtr b);
+
+}  // namespace pb::db
+
+#endif  // PB_DB_EXPR_H_

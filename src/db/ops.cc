@@ -1,0 +1,288 @@
+#include "db/ops.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace pb::db {
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum:   return "SUM";
+    case AggFunc::kAvg:   return "AVG";
+    case AggFunc::kMin:   return "MIN";
+    case AggFunc::kMax:   return "MAX";
+  }
+  return "?";
+}
+
+Result<Table> Select(const Table& table, const ExprPtr& pred,
+                     const std::string& result_name) {
+  Table out(result_name, table.schema());
+  if (!pred) {
+    for (const Tuple& row : table.rows()) out.AppendUnchecked(row);
+    return out;
+  }
+  ExprPtr bound = pred->Clone();
+  PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
+  for (const Tuple& row : table.rows()) {
+    PB_ASSIGN_OR_RETURN(bool keep, bound->Matches(row));
+    if (keep) out.AppendUnchecked(row);
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> FilterIndices(const Table& table,
+                                          const ExprPtr& pred) {
+  std::vector<size_t> out;
+  if (!pred) {
+    out.resize(table.num_rows());
+    for (size_t i = 0; i < table.num_rows(); ++i) out[i] = i;
+    return out;
+  }
+  ExprPtr bound = pred->Clone();
+  PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    PB_ASSIGN_OR_RETURN(bool keep, bound->Matches(table.row(i)));
+    if (keep) out.push_back(i);
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& table,
+                      const std::vector<std::string>& columns,
+                      const std::string& result_name) {
+  std::vector<size_t> indices;
+  Schema out_schema;
+  for (const std::string& name : columns) {
+    PB_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(name));
+    indices.push_back(idx);
+    PB_RETURN_IF_ERROR(out_schema.AddColumn(table.schema().column(idx)));
+  }
+  Table out(result_name, std::move(out_schema));
+  for (const Tuple& row : table.rows()) {
+    Tuple projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+    out.AppendUnchecked(std::move(projected));
+  }
+  return out;
+}
+
+Result<Table> OrderBy(const Table& table, const std::string& column,
+                      bool ascending) {
+  PB_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(column));
+  std::vector<size_t> order(table.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    int c = table.row(a)[idx].Compare(table.row(b)[idx]);
+    return ascending ? c < 0 : c > 0;
+  });
+  Table out(table.name() + "_sorted", table.schema());
+  for (size_t i : order) out.AppendUnchecked(table.row(i));
+  return out;
+}
+
+Table Limit(const Table& table, size_t n) {
+  Table out(table.name() + "_limit", table.schema());
+  for (size_t i = 0; i < std::min(n, table.num_rows()); ++i) {
+    out.AppendUnchecked(table.row(i));
+  }
+  return out;
+}
+
+namespace {
+
+/// Incremental aggregate accumulator with SQL NULL-skipping semantics.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggFunc func) : func_(func) {}
+
+  Status Add(const Value& v, int64_t multiplicity = 1) {
+    if (func_ == AggFunc::kCount) {
+      // COUNT(expr) skips NULL; COUNT(*) passes a non-null marker.
+      if (!v.is_null()) count_ += multiplicity;
+      return Status::OK();
+    }
+    if (v.is_null()) return Status::OK();
+    if (func_ == AggFunc::kMin || func_ == AggFunc::kMax) {
+      if (!extreme_ || (func_ == AggFunc::kMin
+                            ? v.Compare(*extreme_) < 0
+                            : v.Compare(*extreme_) > 0)) {
+        extreme_ = v;
+      }
+      count_ += multiplicity;
+      return Status::OK();
+    }
+    // SUM / AVG: numeric only.
+    PB_ASSIGN_OR_RETURN(double d, v.ToDouble());
+    sum_ += d * static_cast<double>(multiplicity);
+    count_ += multiplicity;
+    all_int_ = all_int_ && v.is_int();
+    return Status::OK();
+  }
+
+  Value Finish() const {
+    switch (func_) {
+      case AggFunc::kCount:
+        return Value::Int(count_);
+      case AggFunc::kSum:
+        if (count_ == 0) return Value::Null();
+        if (all_int_) return Value::Int(static_cast<int64_t>(sum_));
+        return Value::Double(sum_);
+      case AggFunc::kAvg:
+        if (count_ == 0) return Value::Null();
+        return Value::Double(sum_ / static_cast<double>(count_));
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        return extreme_ ? *extreme_ : Value::Null();
+    }
+    return Value::Null();
+  }
+
+ private:
+  AggFunc func_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  bool all_int_ = true;
+  std::optional<Value> extreme_;
+};
+
+}  // namespace
+
+Result<Value> Aggregate(const Table& table, AggFunc func, const ExprPtr& arg) {
+  std::vector<size_t> all(table.num_rows());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::vector<int64_t> ones(all.size(), 1);
+  return AggregateRows(table, func, arg, all, ones);
+}
+
+Result<Value> AggregateRows(const Table& table, AggFunc func,
+                            const ExprPtr& arg,
+                            const std::vector<size_t>& rows,
+                            const std::vector<int64_t>& multiplicities) {
+  if (rows.size() != multiplicities.size()) {
+    return Status::InvalidArgument(
+        "rows and multiplicities must have equal length");
+  }
+  ExprPtr bound;
+  if (arg) {
+    bound = arg->Clone();
+    PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
+  } else if (func != AggFunc::kCount) {
+    return Status::InvalidArgument(
+        std::string(AggFuncToString(func)) + " requires an argument");
+  }
+  AggAccumulator acc(func);
+  for (size_t k = 0; k < rows.size(); ++k) {
+    if (rows[k] >= table.num_rows()) {
+      return Status::OutOfRange("row index out of range");
+    }
+    if (multiplicities[k] < 0) {
+      return Status::InvalidArgument("negative multiplicity");
+    }
+    if (multiplicities[k] == 0) continue;
+    Value v = Value::Int(1);  // COUNT(*) marker
+    if (bound) {
+      PB_ASSIGN_OR_RETURN(v, bound->Eval(table.row(rows[k])));
+    }
+    // MIN/MAX ignore multiplicity by nature; SUM/AVG/COUNT scale by it.
+    PB_RETURN_IF_ERROR(acc.Add(v, multiplicities[k]));
+  }
+  return acc.Finish();
+}
+
+Result<Table> GroupBy(const Table& table, const std::string& group_column,
+                      const std::vector<AggSpec>& aggs,
+                      const std::string& result_name) {
+  PB_ASSIGN_OR_RETURN(size_t gidx, table.schema().IndexOf(group_column));
+  // Bind aggregate arguments once.
+  std::vector<ExprPtr> bound(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].arg) {
+      bound[i] = aggs[i].arg->Clone();
+      PB_RETURN_IF_ERROR(bound[i]->Bind(table.schema()));
+    } else if (aggs[i].func != AggFunc::kCount) {
+      return Status::InvalidArgument(
+          std::string(AggFuncToString(aggs[i].func)) + " requires an argument");
+    }
+  }
+  // Group rows (std::map gives deterministic output order via Value::operator<).
+  std::map<Value, std::vector<AggAccumulator>> groups;
+  for (const Tuple& row : table.rows()) {
+    auto it = groups.find(row[gidx]);
+    if (it == groups.end()) {
+      std::vector<AggAccumulator> accs;
+      accs.reserve(aggs.size());
+      for (const auto& spec : aggs) accs.emplace_back(spec.func);
+      it = groups.emplace(row[gidx], std::move(accs)).first;
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      Value v = Value::Int(1);
+      if (bound[i]) {
+        PB_ASSIGN_OR_RETURN(v, bound[i]->Eval(row));
+      }
+      PB_RETURN_IF_ERROR(it->second[i].Add(v));
+    }
+  }
+  Schema out_schema;
+  PB_RETURN_IF_ERROR(out_schema.AddColumn(table.schema().column(gidx)));
+  for (const auto& spec : aggs) {
+    PB_RETURN_IF_ERROR(
+        out_schema.AddColumn({spec.output_name, ValueType::kNull}));
+  }
+  Table out(result_name, std::move(out_schema));
+  for (const auto& [key, accs] : groups) {
+    Tuple row;
+    row.push_back(key);
+    for (const auto& acc : accs) row.push_back(acc.Finish());
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> CrossJoin(const Table& left, const Table& right,
+                        const ExprPtr& pred,
+                        const std::string& result_name) {
+  // Build the output schema, prefixing on collision. Self-joins (same table
+  // name on both sides) disambiguate the right side with an "_r" suffix.
+  std::string lprefix = left.name();
+  std::string rprefix = right.name();
+  if (lprefix == rprefix) rprefix += "_r";
+  Schema out_schema;
+  for (const Column& c : left.schema().columns()) {
+    Column col = c;
+    if (right.schema().HasColumn(c.name)) col.name = lprefix + "." + c.name;
+    PB_RETURN_IF_ERROR(out_schema.AddColumn(col));
+  }
+  for (const Column& c : right.schema().columns()) {
+    Column col = c;
+    if (left.schema().HasColumn(c.name)) col.name = rprefix + "." + c.name;
+    PB_RETURN_IF_ERROR(out_schema.AddColumn(col));
+  }
+  ExprPtr bound;
+  if (pred) {
+    bound = pred->Clone();
+    PB_RETURN_IF_ERROR(bound->Bind(out_schema));
+  }
+  Table out(result_name, std::move(out_schema));
+  Tuple combined;
+  combined.reserve(left.schema().num_columns() + right.schema().num_columns());
+  for (const Tuple& l : left.rows()) {
+    for (const Tuple& r : right.rows()) {
+      combined.clear();
+      combined.insert(combined.end(), l.begin(), l.end());
+      combined.insert(combined.end(), r.begin(), r.end());
+      if (bound) {
+        PB_ASSIGN_OR_RETURN(bool keep, bound->Matches(combined));
+        if (!keep) continue;
+      }
+      out.AppendUnchecked(combined);
+    }
+  }
+  return out;
+}
+
+}  // namespace pb::db

@@ -1,0 +1,59 @@
+#include "db/schema.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace pb::db {
+
+Schema::Schema(std::vector<Column> columns) {
+  for (auto& c : columns) {
+    Status s = AddColumn(std::move(c));
+    PB_CHECK(s.ok()) << s.ToString();
+  }
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(AsciiToLower(name));
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return index_.count(AsciiToLower(name)) > 0;
+}
+
+Status Schema::AddColumn(Column column) {
+  std::string key = AsciiToLower(column.name);
+  if (index_.count(key)) {
+    return Status::AlreadyExists("duplicate column '" + column.name + "'");
+  }
+  index_[key] = columns_.size();
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, other.columns_[i].name) ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pb::db

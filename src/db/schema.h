@@ -1,0 +1,51 @@
+// Schema: ordered, named, typed columns of a relation.
+
+#ifndef PB_DB_SCHEMA_H_
+#define PB_DB_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/value.h"
+
+namespace pb::db {
+
+/// One column: a name and a declared type. kNull means "untyped / any".
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// An ordered list of columns with case-insensitive name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of a column by (case-insensitive) name.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const;
+
+  /// Appends a column; fails if the name already exists.
+  Status AddColumn(Column column);
+
+  /// "name:TYPE, name:TYPE, ..."
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;  // lower-cased name -> index
+};
+
+}  // namespace pb::db
+
+#endif  // PB_DB_SCHEMA_H_

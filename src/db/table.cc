@@ -1,0 +1,98 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pb::db {
+
+Status Table::Append(Tuple row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema (" +
+        std::to_string(schema_.num_columns()) + " columns) of table '" + name_ +
+        "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    ValueType declared = schema_.column(i).type;
+    if (declared == ValueType::kNull || row[i].is_null()) continue;
+    if (row[i].type() == declared) continue;
+    // Widen INT into DOUBLE columns.
+    if (declared == ValueType::kDouble && row[i].is_int()) {
+      row[i] = Value::Double(static_cast<double>(row[i].AsInt()));
+      continue;
+    }
+    return Status::TypeError(
+        "column '" + schema_.column(i).name + "' of table '" + name_ +
+        "' expects " + ValueTypeToString(declared) + ", got " +
+        ValueTypeToString(row[i].type()));
+  }
+  AppendUnchecked(std::move(row));
+  return Status::OK();
+}
+
+void Table::AppendUnchecked(Tuple row) {
+  PB_DCHECK(row.size() == schema_.num_columns());
+  UpdateStats(row);
+  rows_.push_back(std::move(row));
+}
+
+void Table::UpdateStats(const Tuple& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    ColumnStats& s = stats_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      ++s.null_count;
+      continue;
+    }
+    ++s.non_null_count;
+    if (v.is_numeric()) {
+      double d = v.is_int() ? static_cast<double>(v.AsInt())
+                            : v.AsDoubleExact();
+      s.sum += d;
+      if (!s.min || d < *s.min) s.min = d;
+      if (!s.max || d > *s.max) s.max = d;
+    }
+  }
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  // Compute column widths over the header and shown rows.
+  size_t shown = std::min(max_rows, rows_.size());
+  std::vector<size_t> width(schema_.num_columns());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    width[c] = schema_.column(c).name.size();
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out = name_ + " (" + std::to_string(rows_.size()) + " rows)\n";
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    out += (c ? " | " : "") + pad(schema_.column(c).name, width[c]);
+  }
+  out += "\n";
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    out += (c ? "-+-" : "") + std::string(width[c], '-');
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      out += (c ? " | " : "") + pad(cells[r][c], width[c]);
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace pb::db

@@ -1,0 +1,79 @@
+// Table: an in-memory row-store relation with per-column statistics.
+//
+// The statistics (count / min / max / sum over non-null numeric cells) are
+// exactly what the cardinality-based pruning of §4.1 needs: the bounds
+// l = ceil(L / MAX(attr)) and u = floor(U / MIN(attr)) are computed from
+// column MIN/MAX without touching the rows.
+
+#ifndef PB_DB_TABLE_H_
+#define PB_DB_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/tuple.h"
+
+namespace pb::db {
+
+/// Aggregate statistics for one column, maintained incrementally on append.
+struct ColumnStats {
+  int64_t non_null_count = 0;
+  int64_t null_count = 0;
+  // Numeric-only accumulators; unset if the column has no numeric values.
+  std::optional<double> min;
+  std::optional<double> max;
+  double sum = 0.0;
+
+  double mean() const {
+    return non_null_count > 0 ? sum / static_cast<double>(non_null_count) : 0.0;
+  }
+};
+
+/// A named relation: schema + rows + stats.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)),
+        stats_(schema_.num_columns()) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends a row after checking arity and (loose) type compatibility:
+  /// NULL fits anywhere; INT fits a DOUBLE column (and is widened).
+  Status Append(Tuple row);
+
+  /// Appends without checks (hot path for generators). Arity must match.
+  void AppendUnchecked(Tuple row);
+
+  /// Column statistics; index must be valid.
+  const ColumnStats& stats(size_t column) const { return stats_[column]; }
+
+  /// Value at (row, column) — bounds-checked in debug builds only.
+  const Value& at(size_t row, size_t column) const {
+    return rows_[row][column];
+  }
+
+  /// Renders the first `max_rows` rows as an aligned text table.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  void UpdateStats(const Tuple& row);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace pb::db
+
+#endif  // PB_DB_TABLE_H_

@@ -1,0 +1,28 @@
+// Tuple: one row of Values. Tuples are positional; the Schema gives names.
+
+#ifndef PB_DB_TUPLE_H_
+#define PB_DB_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace pb::db {
+
+using Tuple = std::vector<Value>;
+
+/// Renders "(v1, v2, ...)".
+inline std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pb::db
+
+#endif  // PB_DB_TUPLE_H_

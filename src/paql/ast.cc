@@ -1,0 +1,208 @@
+#include "paql/ast.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace pb::paql {
+
+std::string AggCall::ToString() const {
+  std::string out = db::AggFuncToString(func);
+  out += "(";
+  out += arg ? arg->ToString() : "*";
+  out += ")";
+  return out;
+}
+
+std::string AggCall::CanonicalKey() const {
+  std::string out = db::AggFuncToString(func);
+  out += "|";
+  if (arg) out += AsciiToLower(arg->ToString());
+  return out;
+}
+
+std::string GExpr::ToString() const {
+  switch (kind) {
+    case GExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case GExprKind::kAgg:
+      return agg.ToString();
+    case GExprKind::kArith:
+    case GExprKind::kCompare: {
+      std::string l = children[0]->ToString();
+      std::string r = children[1]->ToString();
+      return l + " " + db::BinaryOpToString(op) + " " + r;
+    }
+    case GExprKind::kBetween:
+      return children[0]->ToString() +
+             (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case GExprKind::kBool:
+      return "(" + children[0]->ToString() + " " + db::BinaryOpToString(op) +
+             " " + children[1]->ToString() + ")";
+    case GExprKind::kNot:
+      return "NOT (" + children[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+GExprPtr GExpr::Clone() const {
+  auto out = std::make_shared<GExpr>(*this);
+  out->children.clear();
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  if (agg.arg) out->agg.arg = agg.arg->Clone();
+  return out;
+}
+
+GExprPtr GLit(db::Value v) {
+  auto e = std::make_shared<GExpr>();
+  e->kind = GExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+GExprPtr GAgg(db::AggFunc func, db::ExprPtr arg) {
+  auto e = std::make_shared<GExpr>();
+  e->kind = GExprKind::kAgg;
+  e->agg.func = func;
+  e->agg.arg = std::move(arg);
+  return e;
+}
+
+GExprPtr GArith(db::BinaryOp op, GExprPtr l, GExprPtr r) {
+  PB_DCHECK(db::IsArithmeticOp(op));
+  auto e = std::make_shared<GExpr>();
+  e->kind = GExprKind::kArith;
+  e->op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+GExprPtr GCompare(db::BinaryOp op, GExprPtr l, GExprPtr r) {
+  PB_DCHECK(db::IsComparisonOp(op));
+  auto e = std::make_shared<GExpr>();
+  e->kind = GExprKind::kCompare;
+  e->op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+GExprPtr GBetween(GExprPtr x, GExprPtr lo, GExprPtr hi, bool negated) {
+  auto e = std::make_shared<GExpr>();
+  e->kind = GExprKind::kBetween;
+  e->negated = negated;
+  e->children = {std::move(x), std::move(lo), std::move(hi)};
+  return e;
+}
+
+GExprPtr GBool(db::BinaryOp op, GExprPtr l, GExprPtr r) {
+  PB_DCHECK(db::IsLogicalOp(op));
+  auto e = std::make_shared<GExpr>();
+  e->kind = GExprKind::kBool;
+  e->op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+GExprPtr GNot(GExprPtr x) {
+  auto e = std::make_shared<GExpr>();
+  e->kind = GExprKind::kNot;
+  e->children = {std::move(x)};
+  return e;
+}
+
+GExprPtr GAndMaybe(GExprPtr a, GExprPtr b) {
+  if (!a) return b;
+  if (!b) return a;
+  return GBool(db::BinaryOp::kAnd, std::move(a), std::move(b));
+}
+
+std::string Objective::ToString() const {
+  std::string out =
+      sense == ObjectiveSense::kMaximize ? "MAXIMIZE " : "MINIMIZE ";
+  out += expr ? expr->ToString() : "?";
+  return out;
+}
+
+std::string Query::ToPaql() const {
+  std::string out = "SELECT PACKAGE(" + relation_alias + ")";
+  if (!package_alias.empty() && package_alias != relation_alias) {
+    out += " AS " + package_alias;
+  }
+  out += "\nFROM " + relation;
+  if (relation_alias != relation) out += " " + relation_alias;
+  if (repeat) out += " REPEAT " + std::to_string(*repeat);
+  if (where) out += "\nWHERE " + where->ToString();
+  if (such_that) out += "\nSUCH THAT " + such_that->ToString();
+  if (objective) out += "\n" + objective->ToString();
+  if (limit) out += "\nLIMIT " + std::to_string(*limit);
+  return out;
+}
+
+namespace {
+
+std::string DescribeAgg(const AggCall& agg) {
+  switch (agg.func) {
+    case db::AggFunc::kCount:
+      return "the number of tuples";
+    case db::AggFunc::kSum:
+      return "the total " + (agg.arg ? agg.arg->ToString() : "?");
+    case db::AggFunc::kAvg:
+      return "the average " + (agg.arg ? agg.arg->ToString() : "?");
+    case db::AggFunc::kMin:
+      return "the smallest " + (agg.arg ? agg.arg->ToString() : "?");
+    case db::AggFunc::kMax:
+      return "the largest " + (agg.arg ? agg.arg->ToString() : "?");
+  }
+  return "?";
+}
+
+std::string DescribeSide(const GExpr& e) {
+  if (e.kind == GExprKind::kAgg) return DescribeAgg(e.agg);
+  if (e.kind == GExprKind::kLiteral) return e.literal.ToString();
+  return e.ToString();
+}
+
+std::string CompareWord(db::BinaryOp op) {
+  switch (op) {
+    case db::BinaryOp::kEq: return "must be exactly";
+    case db::BinaryOp::kNe: return "must differ from";
+    case db::BinaryOp::kLt: return "must be below";
+    case db::BinaryOp::kLe: return "must be at most";
+    case db::BinaryOp::kGt: return "must be above";
+    case db::BinaryOp::kGe: return "must be at least";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string DescribeGlobalConstraint(const GExpr& e) {
+  switch (e.kind) {
+    case GExprKind::kCompare:
+      return DescribeSide(*e.children[0]) + " " + CompareWord(e.op) + " " +
+             DescribeSide(*e.children[1]);
+    case GExprKind::kBetween:
+      return DescribeSide(*e.children[0]) +
+             (e.negated ? " must not be between " : " must be between ") +
+             DescribeSide(*e.children[1]) + " and " +
+             DescribeSide(*e.children[2]);
+    case GExprKind::kBool: {
+      const char* word = e.op == db::BinaryOp::kAnd ? " and " : " or ";
+      return DescribeGlobalConstraint(*e.children[0]) + word +
+             DescribeGlobalConstraint(*e.children[1]);
+    }
+    case GExprKind::kNot:
+      return "it is not the case that " +
+             DescribeGlobalConstraint(*e.children[0]);
+    default:
+      return e.ToString();
+  }
+}
+
+std::string DescribeObjective(const Objective& o) {
+  std::string verb =
+      o.sense == ObjectiveSense::kMaximize ? "maximize " : "minimize ";
+  return verb + (o.expr ? DescribeSide(*o.expr) : "?");
+}
+
+}  // namespace pb::paql

@@ -1,0 +1,115 @@
+// PaQL abstract syntax.
+//
+// A PaQL query (paper §2):
+//
+//   SELECT PACKAGE(R) AS P
+//   FROM <relation> R [REPEAT k]
+//   WHERE <base constraints -- ordinary tuple predicate>
+//   SUCH THAT <global constraints -- boolean formula over aggregates>
+//   [MAXIMIZE | MINIMIZE <aggregate expression>]
+//   [LIMIT <number of packages>]
+//
+// Base constraints reuse the relational expression trees (db::Expr); global
+// constraints get their own tree type (GExpr) whose leaves are aggregate
+// calls over package columns.
+//
+// Multiplicity semantics implemented here (documented deviation: the demo
+// paper leaves the default open-ended, which admits infinitely many
+// packages): without REPEAT each base tuple may appear at most once; REPEAT
+// k allows up to k occurrences of the same tuple.
+
+#ifndef PB_PAQL_AST_H_
+#define PB_PAQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/expr.h"
+#include "db/ops.h"
+
+namespace pb::paql {
+
+struct GExpr;
+using GExprPtr = std::shared_ptr<GExpr>;
+
+/// An aggregate call over the package: COUNT(*) or FUNC(<scalar expr>).
+struct AggCall {
+  db::AggFunc func = db::AggFunc::kCount;
+  db::ExprPtr arg;  ///< null for COUNT(*)
+
+  /// "SUM(P.calories)" — `qualifier` prefixes bare column refs when not
+  /// already qualified (cosmetic only).
+  std::string ToString() const;
+
+  /// Canonical identity used to merge equal aggregates ("SUM|calories+fat").
+  std::string CanonicalKey() const;
+};
+
+enum class GExprKind {
+  kLiteral,  ///< numeric/string literal
+  kAgg,      ///< aggregate leaf
+  kArith,    ///< +, -, *, / over sub-expressions
+  kCompare,  ///< =, <>, <, <=, >, >=
+  kBetween,  ///< lo <= e <= hi (negatable)
+  kBool,     ///< AND / OR
+  kNot,      ///< NOT
+};
+
+/// One node of a global-constraint expression.
+struct GExpr {
+  GExprKind kind = GExprKind::kLiteral;
+  db::Value literal;                   // kLiteral
+  AggCall agg;                         // kAgg
+  db::BinaryOp op = db::BinaryOp::kAdd;  // kArith / kCompare / kBool
+  bool negated = false;                // kBetween
+  std::vector<GExprPtr> children;
+
+  std::string ToString() const;
+  GExprPtr Clone() const;
+};
+
+// GExpr factories.
+GExprPtr GLit(db::Value v);
+GExprPtr GAgg(db::AggFunc func, db::ExprPtr arg);
+GExprPtr GArith(db::BinaryOp op, GExprPtr l, GExprPtr r);
+GExprPtr GCompare(db::BinaryOp op, GExprPtr l, GExprPtr r);
+GExprPtr GBetween(GExprPtr e, GExprPtr lo, GExprPtr hi, bool negated = false);
+GExprPtr GBool(db::BinaryOp op, GExprPtr l, GExprPtr r);
+GExprPtr GNot(GExprPtr e);
+/// AND-combines, tolerating nulls.
+GExprPtr GAndMaybe(GExprPtr a, GExprPtr b);
+
+enum class ObjectiveSense { kMaximize, kMinimize };
+
+struct Objective {
+  ObjectiveSense sense = ObjectiveSense::kMaximize;
+  GExprPtr expr;  ///< aggregate expression to optimize
+
+  std::string ToString() const;
+};
+
+/// A parsed PaQL query.
+struct Query {
+  std::string package_alias;    ///< "P" (defaults to relation alias)
+  std::string relation;         ///< base table name
+  std::string relation_alias;   ///< "R" (defaults to relation name)
+  std::optional<int64_t> repeat;  ///< REPEAT k: max occurrences per tuple
+  db::ExprPtr where;            ///< base constraints (may be null)
+  GExprPtr such_that;           ///< global constraints (may be null)
+  std::optional<Objective> objective;
+  std::optional<int64_t> limit; ///< LIMIT: how many packages to produce
+
+  /// Canonical PaQL text (round-trips through the parser).
+  std::string ToPaql() const;
+};
+
+/// English rendering of a global constraint / objective, in the style of the
+/// interface's "natural language descriptions" (paper Figure 1).
+std::string DescribeGlobalConstraint(const GExpr& e);
+std::string DescribeObjective(const Objective& o);
+
+}  // namespace pb::paql
+
+#endif  // PB_PAQL_AST_H_

@@ -1,0 +1,168 @@
+#include "paql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace pb::paql {
+
+bool IsPaqlKeyword(const std::string& upper_word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "PACKAGE", "AS", "FROM", "REPEAT", "WHERE", "SUCH", "THAT",
+      "AND", "OR", "NOT", "BETWEEN", "IN", "LIKE", "IS", "NULL",
+      "COUNT", "SUM", "AVG", "MIN", "MAX",
+      "MAXIMIZE", "MINIMIZE", "LIMIT", "TRUE", "FALSE",
+  };
+  return kKeywords.count(upper_word) > 0;
+}
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto make = [&](TokenKind kind, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.position = pos;
+    return t;
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_')) {
+        ++j;
+      }
+      std::string word(input.substr(i, j - i));
+      std::string upper = AsciiToUpper(word);
+      Token t = make(IsPaqlKeyword(upper) ? TokenKind::kKeyword
+                                          : TokenKind::kIdent,
+                     start);
+      t.text = t.kind == TokenKind::kKeyword ? upper : word;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Number: integer or double (with optional fraction/exponent).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      if (j < input.size() && input[j] == '.') {
+        is_double = true;
+        ++j;
+        while (j < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+      }
+      if (j < input.size() && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < input.size() && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < input.size() &&
+            std::isdigit(static_cast<unsigned char>(input[k]))) {
+          is_double = true;
+          j = k;
+          while (j < input.size() &&
+                 std::isdigit(static_cast<unsigned char>(input[j]))) {
+            ++j;
+          }
+        }
+      }
+      std::string num(input.substr(i, j - i));
+      if (is_double) {
+        Token t = make(TokenKind::kDoubleLiteral, start);
+        t.double_value = std::strtod(num.c_str(), nullptr);
+        t.text = num;
+        tokens.push_back(std::move(t));
+      } else {
+        Token t = make(TokenKind::kIntLiteral, start);
+        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+        t.text = num;
+        tokens.push_back(std::move(t));
+      }
+      i = j;
+      continue;
+    }
+    // String literal with '' escape. Also accept typographic quotes that
+    // papers love to paste ("‘free’").
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < input.size()) {
+        if (input[j] == '\'') {
+          if (j + 1 < input.size() && input[j + 1] == '\'') {
+            text += '\'';
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          text += input[j++];
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t = make(TokenKind::kStringLiteral, start);
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Operators / punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < input.size() && input[i + 1] == b;
+    };
+    if (two('<', '=')) { tokens.push_back(make(TokenKind::kLe, start)); i += 2; continue; }
+    if (two('>', '=')) { tokens.push_back(make(TokenKind::kGe, start)); i += 2; continue; }
+    if (two('<', '>')) { tokens.push_back(make(TokenKind::kNe, start)); i += 2; continue; }
+    if (two('!', '=')) { tokens.push_back(make(TokenKind::kNe, start)); i += 2; continue; }
+    switch (c) {
+      case '(': tokens.push_back(make(TokenKind::kLParen, start)); break;
+      case ')': tokens.push_back(make(TokenKind::kRParen, start)); break;
+      case ',': tokens.push_back(make(TokenKind::kComma, start)); break;
+      case '.': tokens.push_back(make(TokenKind::kDot, start)); break;
+      case '*': tokens.push_back(make(TokenKind::kStar, start)); break;
+      case '+': tokens.push_back(make(TokenKind::kPlus, start)); break;
+      case '-': tokens.push_back(make(TokenKind::kMinus, start)); break;
+      case '/': tokens.push_back(make(TokenKind::kSlash, start)); break;
+      case '%': tokens.push_back(make(TokenKind::kPercent, start)); break;
+      case '=': tokens.push_back(make(TokenKind::kEq, start)); break;
+      case '<': tokens.push_back(make(TokenKind::kLt, start)); break;
+      case '>': tokens.push_back(make(TokenKind::kGt, start)); break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start));
+    }
+    ++i;
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, 0.0, input.size()});
+  return tokens;
+}
+
+}  // namespace pb::paql

@@ -1,0 +1,23 @@
+// PaQL lexer: turns query text into a token vector.
+
+#ifndef PB_PAQL_LEXER_H_
+#define PB_PAQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "paql/token.h"
+
+namespace pb::paql {
+
+/// True if `word` (upper-cased) is a reserved PaQL keyword.
+bool IsPaqlKeyword(const std::string& upper_word);
+
+/// Lexes the full input; the result always ends with a kEnd token.
+/// Comments ("-- ..." to end of line) are skipped.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace pb::paql
+
+#endif  // PB_PAQL_LEXER_H_

@@ -1,0 +1,513 @@
+#include "paql/parser.h"
+
+#include "paql/lexer.h"
+
+namespace pb::paql {
+
+namespace {
+
+/// Token-stream cursor shared by all parse routines.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    Query q;
+    PB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    PB_RETURN_IF_ERROR(ExpectKeyword("PACKAGE"));
+    PB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    PB_ASSIGN_OR_RETURN(std::string pkg_rel, ExpectIdent());
+    PB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    if (AcceptKeyword("AS")) {
+      PB_ASSIGN_OR_RETURN(q.package_alias, ExpectIdent());
+    }
+    PB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    PB_ASSIGN_OR_RETURN(q.relation, ExpectIdent());
+    q.relation_alias = q.relation;
+    if (Peek().kind == TokenKind::kIdent) {
+      q.relation_alias = Advance().text;
+    }
+    if (AcceptKeyword("REPEAT")) {
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("REPEAT expects an integer");
+      }
+      q.repeat = Advance().int_value;
+      if (*q.repeat < 1) return Error("REPEAT count must be >= 1");
+    }
+    // PACKAGE(X) must reference the FROM relation or its alias.
+    if (pkg_rel != q.relation && pkg_rel != q.relation_alias) {
+      return Error("PACKAGE(" + pkg_rel +
+                   ") does not match the FROM relation '" + q.relation + "'");
+    }
+    if (q.package_alias.empty()) q.package_alias = pkg_rel;
+
+    if (AcceptKeyword("WHERE")) {
+      PB_ASSIGN_OR_RETURN(q.where, ParseOr());
+    }
+    if (AcceptKeyword("SUCH")) {
+      PB_RETURN_IF_ERROR(ExpectKeyword("THAT"));
+      PB_ASSIGN_OR_RETURN(q.such_that, ParseGOr());
+    }
+    if (Peek().IsKeyword("MAXIMIZE") || Peek().IsKeyword("MINIMIZE")) {
+      Objective obj;
+      obj.sense = Advance().text == "MAXIMIZE" ? ObjectiveSense::kMaximize
+                                               : ObjectiveSense::kMinimize;
+      PB_ASSIGN_OR_RETURN(obj.expr, ParseGSum());
+      q.objective = obj;
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("LIMIT expects an integer");
+      }
+      q.limit = Advance().int_value;
+      if (*q.limit < 1) return Error("LIMIT must be >= 1");
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    return q;
+  }
+
+  // ----- Scalar (WHERE) expression grammar --------------------------------
+
+  Result<db::ExprPtr> ParseOr() {
+    PB_ASSIGN_OR_RETURN(db::ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      PB_ASSIGN_OR_RETURN(db::ExprPtr rhs, ParseAnd());
+      lhs = db::Binary(db::BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<db::ExprPtr> ParseAnd() {
+    PB_ASSIGN_OR_RETURN(db::ExprPtr lhs, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      PB_ASSIGN_OR_RETURN(db::ExprPtr rhs, ParseNot());
+      lhs = db::Binary(db::BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<db::ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      PB_ASSIGN_OR_RETURN(db::ExprPtr inner, ParseNot());
+      return db::Unary(db::UnaryOp::kNot, std::move(inner));
+    }
+    return ParsePredicate();
+  }
+
+  Result<db::ExprPtr> ParsePredicate() {
+    PB_ASSIGN_OR_RETURN(db::ExprPtr lhs, ParseAdditive());
+    // Optional comparison / BETWEEN / IN / LIKE / IS NULL suffix.
+    bool negated = false;
+    if (Peek().IsKeyword("NOT")) {
+      // Only valid before BETWEEN / IN / LIKE.
+      const Token& next = PeekAt(1);
+      if (next.IsKeyword("BETWEEN") || next.IsKeyword("IN") ||
+          next.IsKeyword("LIKE")) {
+        Advance();
+        negated = true;
+      }
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      PB_ASSIGN_OR_RETURN(db::ExprPtr lo, ParseAdditive());
+      PB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      PB_ASSIGN_OR_RETURN(db::ExprPtr hi, ParseAdditive());
+      return db::Between(std::move(lhs), std::move(lo), std::move(hi),
+                         negated);
+    }
+    if (AcceptKeyword("IN")) {
+      PB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      std::vector<db::Value> items;
+      do {
+        PB_ASSIGN_OR_RETURN(db::Value v, ExpectLiteralValue());
+        items.push_back(std::move(v));
+      } while (Accept(TokenKind::kComma));
+      PB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return db::In(std::move(lhs), std::move(items), negated);
+    }
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().kind != TokenKind::kStringLiteral) {
+        return Error("LIKE expects a string pattern");
+      }
+      return db::Like(std::move(lhs), Advance().text, negated);
+    }
+    if (AcceptKeyword("IS")) {
+      bool not_null = AcceptKeyword("NOT");
+      PB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return db::IsNull(std::move(lhs), not_null);
+    }
+    if (negated) return Error("dangling NOT");
+    auto cmp = AcceptComparison();
+    if (cmp) {
+      PB_ASSIGN_OR_RETURN(db::ExprPtr rhs, ParseAdditive());
+      return db::Binary(*cmp, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<db::ExprPtr> ParseAdditive() {
+    PB_ASSIGN_OR_RETURN(db::ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (Accept(TokenKind::kPlus)) {
+        PB_ASSIGN_OR_RETURN(db::ExprPtr rhs, ParseMultiplicative());
+        lhs = db::Binary(db::BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kMinus)) {
+        PB_ASSIGN_OR_RETURN(db::ExprPtr rhs, ParseMultiplicative());
+        lhs = db::Binary(db::BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<db::ExprPtr> ParseMultiplicative() {
+    PB_ASSIGN_OR_RETURN(db::ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (Accept(TokenKind::kStar)) {
+        PB_ASSIGN_OR_RETURN(db::ExprPtr rhs, ParseUnary());
+        lhs = db::Binary(db::BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kSlash)) {
+        PB_ASSIGN_OR_RETURN(db::ExprPtr rhs, ParseUnary());
+        lhs = db::Binary(db::BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kPercent)) {
+        PB_ASSIGN_OR_RETURN(db::ExprPtr rhs, ParseUnary());
+        lhs = db::Binary(db::BinaryOp::kMod, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<db::ExprPtr> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      PB_ASSIGN_OR_RETURN(db::ExprPtr inner, ParseUnary());
+      return db::Unary(db::UnaryOp::kNeg, std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<db::ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        return db::LitInt(Advance().int_value);
+      case TokenKind::kDoubleLiteral:
+        return db::LitDouble(Advance().double_value);
+      case TokenKind::kStringLiteral:
+        return db::LitString(Advance().text);
+      case TokenKind::kLParen: {
+        Advance();
+        PB_ASSIGN_OR_RETURN(db::ExprPtr inner, ParseOr());
+        PB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        return inner;
+      }
+      case TokenKind::kKeyword:
+        if (t.text == "TRUE") {
+          Advance();
+          return db::LitBool(true);
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return db::LitBool(false);
+        }
+        if (t.text == "NULL") {
+          Advance();
+          return db::Lit(db::Value::Null());
+        }
+        return Error("unexpected keyword '" + t.text + "' in expression");
+      case TokenKind::kIdent: {
+        std::string name = Advance().text;
+        if (Accept(TokenKind::kDot)) {
+          PB_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          name += "." + col;
+        }
+        return db::Col(std::move(name));
+      }
+      default:
+        return Error("unexpected token '" + t.text + "' in expression");
+    }
+  }
+
+  // ----- Global (SUCH THAT) expression grammar ----------------------------
+
+  Result<GExprPtr> ParseGOr() {
+    PB_ASSIGN_OR_RETURN(GExprPtr lhs, ParseGAnd());
+    while (AcceptKeyword("OR")) {
+      PB_ASSIGN_OR_RETURN(GExprPtr rhs, ParseGAnd());
+      lhs = GBool(db::BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<GExprPtr> ParseGAnd() {
+    PB_ASSIGN_OR_RETURN(GExprPtr lhs, ParseGNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      PB_ASSIGN_OR_RETURN(GExprPtr rhs, ParseGNot());
+      lhs = GBool(db::BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<GExprPtr> ParseGNot() {
+    if (AcceptKeyword("NOT")) {
+      PB_ASSIGN_OR_RETURN(GExprPtr inner, ParseGNot());
+      return GNot(std::move(inner));
+    }
+    return ParseGComparison();
+  }
+
+  Result<GExprPtr> ParseGComparison() {
+    // Parenthesized boolean sub-formulas: "(" can open either a boolean
+    // group or an arithmetic group. Try boolean first by lookahead: a
+    // boolean group must eventually contain a comparison; simplest reliable
+    // rule — parse an arithmetic sum, and if the next token is a comparison
+    // we are in the comparison case; otherwise, if the sum consumed a
+    // parenthesized boolean, it would have failed. To keep the grammar
+    // predictable we require parentheses around boolean sub-formulas to
+    // start with NOT, or contain a full comparison; we attempt the sum
+    // parse and backtrack on failure.
+    size_t save = pos_;
+    auto sum = ParseGSum();
+    if (sum.ok()) {
+      const Token& t = Peek();
+      bool negated = false;
+      if (t.IsKeyword("NOT") && PeekAt(1).IsKeyword("BETWEEN")) {
+        Advance();
+        negated = true;
+      }
+      if (AcceptKeyword("BETWEEN")) {
+        PB_ASSIGN_OR_RETURN(GExprPtr lo, ParseGSum());
+        PB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+        PB_ASSIGN_OR_RETURN(GExprPtr hi, ParseGSum());
+        return GBetween(std::move(sum).value(), std::move(lo), std::move(hi),
+                        negated);
+      }
+      auto cmp = AcceptComparison();
+      if (cmp) {
+        PB_ASSIGN_OR_RETURN(GExprPtr rhs, ParseGSum());
+        return GCompare(*cmp, std::move(sum).value(), std::move(rhs));
+      }
+      return Error("expected a comparison in global constraint near '" +
+                   Peek().text + "'");
+    }
+    // Backtrack: maybe "(" <boolean formula> ")".
+    pos_ = save;
+    if (Accept(TokenKind::kLParen)) {
+      PB_ASSIGN_OR_RETURN(GExprPtr inner, ParseGOr());
+      PB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return inner;
+    }
+    return sum.status();
+  }
+
+  Result<GExprPtr> ParseGSum() {
+    PB_ASSIGN_OR_RETURN(GExprPtr lhs, ParseGTerm());
+    while (true) {
+      if (Accept(TokenKind::kPlus)) {
+        PB_ASSIGN_OR_RETURN(GExprPtr rhs, ParseGTerm());
+        lhs = GArith(db::BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kMinus)) {
+        PB_ASSIGN_OR_RETURN(GExprPtr rhs, ParseGTerm());
+        lhs = GArith(db::BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<GExprPtr> ParseGTerm() {
+    PB_ASSIGN_OR_RETURN(GExprPtr lhs, ParseGFactor());
+    while (true) {
+      if (Accept(TokenKind::kStar)) {
+        PB_ASSIGN_OR_RETURN(GExprPtr rhs, ParseGFactor());
+        lhs = GArith(db::BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kSlash)) {
+        PB_ASSIGN_OR_RETURN(GExprPtr rhs, ParseGFactor());
+        lhs = GArith(db::BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<GExprPtr> ParseGFactor() {
+    const Token& t = Peek();
+    if (Accept(TokenKind::kMinus)) {
+      PB_ASSIGN_OR_RETURN(GExprPtr inner, ParseGFactor());
+      return GArith(db::BinaryOp::kMul, GLit(db::Value::Int(-1)),
+                    std::move(inner));
+    }
+    if (t.kind == TokenKind::kIntLiteral) {
+      return GLit(db::Value::Int(Advance().int_value));
+    }
+    if (t.kind == TokenKind::kDoubleLiteral) {
+      return GLit(db::Value::Double(Advance().double_value));
+    }
+    if (t.kind == TokenKind::kStringLiteral) {
+      return GLit(db::Value::String(Advance().text));
+    }
+    if (t.kind == TokenKind::kKeyword) {
+      db::AggFunc func;
+      if (t.text == "COUNT") func = db::AggFunc::kCount;
+      else if (t.text == "SUM") func = db::AggFunc::kSum;
+      else if (t.text == "AVG") func = db::AggFunc::kAvg;
+      else if (t.text == "MIN") func = db::AggFunc::kMin;
+      else if (t.text == "MAX") func = db::AggFunc::kMax;
+      else return Error("unexpected keyword '" + t.text +
+                        "' in global constraint");
+      Advance();
+      PB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      db::ExprPtr arg;
+      if (Accept(TokenKind::kStar)) {
+        if (func != db::AggFunc::kCount) {
+          return Error("only COUNT may take '*'");
+        }
+      } else {
+        PB_ASSIGN_OR_RETURN(arg, ParseAdditive());
+      }
+      PB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return GAgg(func, std::move(arg));
+    }
+    if (Accept(TokenKind::kLParen)) {
+      PB_ASSIGN_OR_RETURN(GExprPtr inner, ParseGSum());
+      PB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return inner;
+    }
+    return Error("unexpected token '" + t.text + "' in global constraint");
+  }
+
+  // ----- Cursor helpers ----------------------------------------------------
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAt(size_t ahead) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  std::optional<db::BinaryOp> AcceptComparison() {
+    switch (Peek().kind) {
+      case TokenKind::kEq: Advance(); return db::BinaryOp::kEq;
+      case TokenKind::kNe: Advance(); return db::BinaryOp::kNe;
+      case TokenKind::kLt: Advance(); return db::BinaryOp::kLt;
+      case TokenKind::kLe: Advance(); return db::BinaryOp::kLe;
+      case TokenKind::kGt: Advance(); return db::BinaryOp::kGt;
+      case TokenKind::kGe: Advance(); return db::BinaryOp::kGe;
+      default: return std::nullopt;
+    }
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Status::ParseError("expected '" + std::string(what) +
+                                "', found '" + Peek().text + "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + ", found '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::ParseError("expected identifier, found '" + Peek().text +
+                                "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    return Advance().text;
+  }
+
+  Result<db::Value> ExpectLiteralValue() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        return db::Value::Int(Advance().int_value);
+      case TokenKind::kDoubleLiteral:
+        return db::Value::Double(Advance().double_value);
+      case TokenKind::kStringLiteral:
+        return db::Value::String(Advance().text);
+      case TokenKind::kKeyword:
+        if (t.text == "TRUE") { Advance(); return db::Value::Bool(true); }
+        if (t.text == "FALSE") { Advance(); return db::Value::Bool(false); }
+        if (t.text == "NULL") { Advance(); return db::Value::Null(); }
+        [[fallthrough]];
+      default:
+        return Error("expected a literal, found '" + t.text + "'");
+    }
+  }
+
+  Status Error(std::string message) const {
+    return Status::ParseError(message + " (offset " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(std::string_view text) {
+  PB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<db::ExprPtr> ParseScalarExpr(std::string_view text) {
+  PB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  PB_ASSIGN_OR_RETURN(db::ExprPtr e, parser.ParseOr());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after expression");
+  }
+  return e;
+}
+
+Result<GExprPtr> ParseGlobalExpr(std::string_view text) {
+  PB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  PB_ASSIGN_OR_RETURN(GExprPtr e, parser.ParseGOr());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after global constraint");
+  }
+  return e;
+}
+
+Result<GExprPtr> ParseAggregateExpr(std::string_view text) {
+  PB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  PB_ASSIGN_OR_RETURN(GExprPtr e, parser.ParseGSum());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after aggregate expression");
+  }
+  return e;
+}
+
+}  // namespace pb::paql

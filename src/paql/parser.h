@@ -1,0 +1,31 @@
+// PaQL parser: recursive descent over the lexer's token stream.
+
+#ifndef PB_PAQL_PARSER_H_
+#define PB_PAQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "paql/ast.h"
+
+namespace pb::paql {
+
+/// Parses one PaQL query. Errors carry the offending token and byte offset.
+Result<Query> Parse(std::string_view text);
+
+/// Parses a standalone scalar predicate/expression (the WHERE sub-language);
+/// used by the interactive layer to accept user-typed base constraints.
+Result<db::ExprPtr> ParseScalarExpr(std::string_view text);
+
+/// Parses a standalone global-constraint expression (the SUCH THAT
+/// sub-language); used by the interactive layer for user-typed global
+/// constraints.
+Result<GExprPtr> ParseGlobalExpr(std::string_view text);
+
+/// Parses a standalone aggregate arithmetic expression (the MAXIMIZE /
+/// MINIMIZE sub-language, e.g. "SUM(P.protein) - 2 * SUM(P.fat)").
+Result<GExprPtr> ParseAggregateExpr(std::string_view text);
+
+}  // namespace pb::paql
+
+#endif  // PB_PAQL_PARSER_H_

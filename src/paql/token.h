@@ -1,0 +1,40 @@
+// Token kinds for the PaQL lexer.
+
+#ifndef PB_PAQL_TOKEN_H_
+#define PB_PAQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pb::paql {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // Punctuation / operators.
+  kLParen, kRParen, kComma, kDot, kStar,
+  kPlus, kMinus, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+/// One lexed token. `text` is the raw (for idents) or decoded (for strings)
+/// spelling; keywords are upper-cased into `text`.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  ///< byte offset in the query text, for diagnostics
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+}  // namespace pb::paql
+
+#endif  // PB_PAQL_TOKEN_H_

@@ -1,0 +1,276 @@
+#include "solver/milp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace pb::solver {
+
+const char* MilpStatusToString(MilpStatus s) {
+  switch (s) {
+    case MilpStatus::kOptimal:    return "Optimal";
+    case MilpStatus::kInfeasible: return "Infeasible";
+    case MilpStatus::kFeasible:   return "Feasible";
+    case MilpStatus::kNoSolution: return "NoSolution";
+    case MilpStatus::kUnbounded:  return "Unbounded";
+  }
+  return "?";
+}
+
+namespace {
+
+using Bounds = std::vector<std::pair<double, double>>;
+
+struct Node {
+  Bounds bounds;
+  double bound;  // parent LP objective (optimistic bound for this node)
+};
+
+/// Best-first: larger is better for max problems, smaller for min.
+struct NodeOrder {
+  bool maximize;
+  bool operator()(const Node& a, const Node& b) const {
+    return maximize ? a.bound < b.bound : a.bound > b.bound;
+  }
+};
+
+/// Index of the most fractional integer variable, or -1 if integral.
+int MostFractional(const LpModel& model, const std::vector<double>& x,
+                   double int_tol) {
+  int best = -1;
+  double best_frac = int_tol;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).is_integer) continue;
+    double frac = std::abs(x[j] - std::round(x[j]));
+    if (frac > best_frac) {
+      // Prefer the variable closest to 0.5 fractionality.
+      double dist_half = std::abs(frac - 0.5);
+      if (best < 0 ||
+          dist_half < std::abs(std::abs(x[best] - std::round(x[best])) - 0.5)) {
+        best = j;
+      }
+      best_frac = std::max(best_frac, int_tol);
+    }
+  }
+  return best;
+}
+
+/// Rounds integer variables to the nearest integer within bounds; returns
+/// true if the rounded point is feasible for the whole model.
+bool TryRound(const LpModel& model, const Bounds& bounds,
+              const std::vector<double>& x, double tol,
+              std::vector<double>* rounded) {
+  *rounded = x;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).is_integer) continue;
+    double r = std::round(x[j]);
+    r = std::min(std::max(r, bounds[j].first), bounds[j].second);
+    (*rounded)[j] = r;
+  }
+  return model.IsFeasible(*rounded, tol);
+}
+
+/// Diving heuristic: repeatedly fixes the most fractional integer variable
+/// to its nearest integer and re-solves the LP. Package models (equality
+/// COUNT rows) rarely round feasibly, but they dive very well — this is how
+/// the solver finds its first incumbent without exploring the tree.
+/// Returns true with an integer-feasible point in *out on success.
+bool TryDive(const LpModel& model, Bounds bounds, const SimplexOptions& lp_opts,
+             double int_tol, int64_t* lp_iterations,
+             std::vector<double>* out) {
+  constexpr int kMaxDepth = 400;
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    auto lp = SolveLp(model, lp_opts, &bounds);
+    if (!lp.ok() || lp->status != LpStatus::kOptimal) return false;
+    *lp_iterations += lp->iterations;
+    int j = MostFractional(model, lp->x, int_tol);
+    if (j < 0) {
+      *out = lp->x;
+      for (int v = 0; v < model.num_variables(); ++v) {
+        if (model.variable(v).is_integer) (*out)[v] = std::round((*out)[v]);
+      }
+      return model.IsFeasible(*out, int_tol);
+    }
+    double fixed = std::round(lp->x[j]);
+    fixed = std::min(std::max(fixed, bounds[j].first), bounds[j].second);
+    bounds[j] = {fixed, fixed};
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
+  PB_RETURN_IF_ERROR(model.Validate());
+  Stopwatch timer;
+  const bool maximize = model.sense() == ObjectiveSense::kMaximize;
+  auto better = [&](double a, double b) {
+    return maximize ? a > b + options.gap_abs : a < b - options.gap_abs;
+  };
+
+  MilpResult result;
+
+  Bounds root_bounds(model.num_variables());
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const Variable& v = model.variable(j);
+    double lo = v.lb, hi = v.ub;
+    // Integer variables get their bounds tightened to integers up front.
+    if (v.is_integer) {
+      if (std::isfinite(lo)) lo = std::ceil(lo - options.int_tol);
+      if (std::isfinite(hi)) hi = std::floor(hi + options.int_tol);
+    }
+    root_bounds[j] = {lo, hi};
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open(
+      NodeOrder{maximize});
+  open.push({std::move(root_bounds),
+             maximize ? kInfinity : -kInfinity});
+
+  bool have_incumbent = false;
+  std::vector<double> incumbent;
+  double incumbent_obj = 0.0;
+  double best_open_bound = maximize ? -kInfinity : kInfinity;
+  bool hit_limit = false;
+  bool root_unbounded = false;
+
+  while (!open.empty()) {
+    if (result.nodes >= options.max_nodes ||
+        timer.ElapsedSeconds() > options.time_limit_s) {
+      hit_limit = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+
+    // Bound-based pruning against the incumbent.
+    if (have_incumbent && !better(node.bound, incumbent_obj)) continue;
+
+    ++result.nodes;
+    PB_ASSIGN_OR_RETURN(LpSolution lp,
+                        SolveLp(model, options.lp, &node.bounds));
+    result.lp_iterations += lp.iterations;
+
+    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status == LpStatus::kUnbounded) {
+      if (result.nodes == 1) root_unbounded = true;
+      // An unbounded relaxation at a non-root node still means the MILP
+      // may be unbounded; surface it conservatively.
+      root_unbounded = root_unbounded || !have_incumbent;
+      if (root_unbounded) break;
+      continue;
+    }
+    if (lp.status == LpStatus::kIterationLimit) {
+      hit_limit = true;
+      continue;
+    }
+
+    double node_bound = lp.objective;
+    if (have_incumbent && !better(node_bound, incumbent_obj)) continue;
+
+    int branch_var = MostFractional(model, lp.x, options.int_tol);
+    if (branch_var < 0) {
+      // Integer feasible: snap and accept as incumbent.
+      std::vector<double> snapped = lp.x;
+      for (int j = 0; j < model.num_variables(); ++j) {
+        if (model.variable(j).is_integer) snapped[j] = std::round(snapped[j]);
+      }
+      double obj = model.ObjectiveValue(snapped);
+      if (!have_incumbent || better(obj, incumbent_obj)) {
+        have_incumbent = true;
+        incumbent = std::move(snapped);
+        incumbent_obj = obj;
+      }
+      continue;
+    }
+
+    // Primal heuristics: cheap rounding at every node; one LP dive from the
+    // root when rounding produced nothing (package models have equality
+    // rows that defeat rounding but dive well).
+    if (options.rounding_heuristic) {
+      std::vector<double> rounded;
+      if (TryRound(model, node.bounds, lp.x, options.int_tol, &rounded)) {
+        double obj = model.ObjectiveValue(rounded);
+        if (!have_incumbent || better(obj, incumbent_obj)) {
+          have_incumbent = true;
+          incumbent = std::move(rounded);
+          incumbent_obj = obj;
+        }
+      }
+      if (!have_incumbent && result.nodes == 1) {
+        std::vector<double> dived;
+        if (TryDive(model, node.bounds, options.lp, options.int_tol,
+                    &result.lp_iterations, &dived)) {
+          have_incumbent = true;
+          incumbent_obj = model.ObjectiveValue(dived);
+          incumbent = std::move(dived);
+        }
+      }
+    }
+
+    // Branch: floor side and ceil side.
+    double xv = lp.x[branch_var];
+    Node down = node;
+    down.bound = node_bound;
+    down.bounds[branch_var].second =
+        std::min(down.bounds[branch_var].second, std::floor(xv));
+    if (down.bounds[branch_var].first <= down.bounds[branch_var].second) {
+      open.push(std::move(down));
+    }
+    Node up = std::move(node);
+    up.bound = node_bound;
+    up.bounds[branch_var].first =
+        std::max(up.bounds[branch_var].first, std::ceil(xv));
+    if (up.bounds[branch_var].first <= up.bounds[branch_var].second) {
+      open.push(std::move(up));
+    }
+  }
+
+  // Best remaining optimistic bound (for gap reporting).
+  if (!open.empty()) best_open_bound = open.top().bound;
+
+  result.solve_seconds = timer.ElapsedSeconds();
+  if (root_unbounded && !have_incumbent) {
+    result.status = MilpStatus::kUnbounded;
+    return result;
+  }
+  if (have_incumbent) {
+    result.x = std::move(incumbent);
+    result.objective = incumbent_obj;
+    bool proven = open.empty() && !hit_limit;
+    // With pruning, an emptied queue proves optimality; otherwise compare
+    // the incumbent with the best open bound.
+    if (!proven && !open.empty() && !better(best_open_bound, incumbent_obj)) {
+      proven = !hit_limit;
+    }
+    result.best_bound = open.empty() ? incumbent_obj : best_open_bound;
+    result.status = proven ? MilpStatus::kOptimal : MilpStatus::kFeasible;
+    return result;
+  }
+  result.status = hit_limit ? MilpStatus::kNoSolution : MilpStatus::kInfeasible;
+  result.best_bound = best_open_bound;
+  return result;
+}
+
+Result<MilpResult> SolveMilpOrFail(const LpModel& model,
+                                   const MilpOptions& options) {
+  PB_ASSIGN_OR_RETURN(MilpResult r, SolveMilp(model, options));
+  switch (r.status) {
+    case MilpStatus::kOptimal:
+    case MilpStatus::kFeasible:
+      return r;
+    case MilpStatus::kInfeasible:
+      return Status::Infeasible("no integer-feasible solution exists");
+    case MilpStatus::kUnbounded:
+      return Status::Unbounded("objective is unbounded");
+    case MilpStatus::kNoSolution:
+      return Status::ResourceExhausted(
+          "solver limits reached before finding a solution");
+  }
+  return Status::Internal("unknown MILP status");
+}
+
+}  // namespace pb::solver

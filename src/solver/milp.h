@@ -1,0 +1,68 @@
+// Branch-and-bound MILP solver on top of the bounded-variable simplex.
+//
+// This stands in for the "state-of-the-art constraint optimization solvers"
+// the paper hands its translated package queries to (CPLEX in the authors'
+// deployment). Best-first search on the LP relaxation bound, branching on
+// the most fractional integer variable, with an LP-rounding primal
+// heuristic to obtain incumbents early.
+
+#ifndef PB_SOLVER_MILP_H_
+#define PB_SOLVER_MILP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "solver/model.h"
+#include "solver/simplex.h"
+
+namespace pb::solver {
+
+enum class MilpStatus {
+  kOptimal,     ///< proven optimal incumbent
+  kInfeasible,  ///< no integer-feasible point exists
+  kFeasible,    ///< stopped at a limit with an incumbent (not proven optimal)
+  kNoSolution,  ///< stopped at a limit before finding any incumbent
+  kUnbounded,   ///< LP relaxation unbounded in the optimization direction
+};
+
+const char* MilpStatusToString(MilpStatus s);
+
+struct MilpOptions {
+  double int_tol = 1e-6;         ///< integrality tolerance
+  double gap_abs = 1e-9;         ///< absolute bound-vs-incumbent gap to stop
+  int64_t max_nodes = 2'000'000; ///< branch-and-bound node budget
+  double time_limit_s = 300.0;   ///< wall-clock budget
+  bool rounding_heuristic = true;
+  SimplexOptions lp;
+};
+
+struct MilpResult {
+  MilpStatus status = MilpStatus::kNoSolution;
+  std::vector<double> x;     ///< incumbent (valid for kOptimal / kFeasible)
+  double objective = 0.0;    ///< incumbent objective
+  double best_bound = 0.0;   ///< proven bound on the optimum
+  int64_t nodes = 0;         ///< nodes explored
+  int64_t lp_iterations = 0; ///< total simplex iterations
+  double solve_seconds = 0.0;
+
+  bool has_solution() const {
+    return status == MilpStatus::kOptimal || status == MilpStatus::kFeasible;
+  }
+};
+
+/// Solves a MILP. Pure-LP models (no integer variables) degrade to a single
+/// simplex solve. Statuses map: LP infeasible -> kInfeasible, LP unbounded ->
+/// kUnbounded.
+Result<MilpResult> SolveMilp(const LpModel& model,
+                             const MilpOptions& options = {});
+
+/// Convenience: solve and require a solution, mapping "no solution" statuses
+/// onto error Statuses (kInfeasible / kResourceExhausted / kUnbounded).
+Result<MilpResult> SolveMilpOrFail(const LpModel& model,
+                                   const MilpOptions& options = {});
+
+}  // namespace pb::solver
+
+#endif  // PB_SOLVER_MILP_H_

@@ -1,0 +1,157 @@
+#include "solver/model.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace pb::solver {
+
+int LpModel::AddVariable(std::string name, double lb, double ub,
+                         double objective, bool is_integer) {
+  if (name.empty()) name = "x" + std::to_string(variables_.size());
+  variables_.push_back({std::move(name), lb, ub, objective, is_integer});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int LpModel::AddConstraint(std::string name, std::vector<LinearTerm> terms,
+                           double lo, double hi) {
+  if (name.empty()) name = "c" + std::to_string(constraints_.size());
+  // Merge duplicate variables and drop zeros.
+  std::map<int, double> merged;
+  for (const LinearTerm& t : terms) merged[t.var] += t.coeff;
+  std::vector<LinearTerm> clean;
+  clean.reserve(merged.size());
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0.0) clean.push_back({var, coeff});
+  }
+  constraints_.push_back({std::move(name), std::move(clean), lo, hi});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+bool LpModel::has_integer_variables() const {
+  for (const Variable& v : variables_) {
+    if (v.is_integer) return true;
+  }
+  return false;
+}
+
+Status LpModel::Validate() const {
+  if (variables_.empty()) {
+    return Status::InvalidArgument("model has no variables");
+  }
+  for (size_t j = 0; j < variables_.size(); ++j) {
+    const Variable& v = variables_[j];
+    if (std::isnan(v.lb) || std::isnan(v.ub)) {
+      return Status::InvalidArgument("variable '" + v.name + "' has NaN bound");
+    }
+    if (v.lb > v.ub) {
+      return Status::Infeasible("variable '" + v.name + "' has lb > ub");
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    if (c.lo > c.hi) {
+      return Status::Infeasible("constraint '" + c.name + "' has lo > hi");
+    }
+    for (const LinearTerm& t : c.terms) {
+      if (t.var < 0 || t.var >= num_variables()) {
+        return Status::InvalidArgument("constraint '" + c.name +
+                                       "' references unknown variable");
+      }
+      if (!std::isfinite(t.coeff)) {
+        return Status::InvalidArgument("constraint '" + c.name +
+                                       "' has a non-finite coefficient");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double LpModel::ObjectiveValue(const std::vector<double>& x) const {
+  double obj = 0.0;
+  for (size_t j = 0; j < variables_.size() && j < x.size(); ++j) {
+    obj += variables_[j].objective * x[j];
+  }
+  return obj;
+}
+
+double LpModel::Activity(int i, const std::vector<double>& x) const {
+  double a = 0.0;
+  for (const LinearTerm& t : constraints_[i].terms) a += t.coeff * x[t.var];
+  return a;
+}
+
+bool LpModel::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != variables_.size()) return false;
+  for (size_t j = 0; j < variables_.size(); ++j) {
+    if (x[j] < variables_[j].lb - tol || x[j] > variables_[j].ub + tol) {
+      return false;
+    }
+  }
+  for (int i = 0; i < num_constraints(); ++i) {
+    double a = Activity(i, x);
+    if (a < constraints_[i].lo - tol || a > constraints_[i].hi + tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+std::string BoundToLp(double v) {
+  if (v == kInfinity) return "+inf";
+  if (v == -kInfinity) return "-inf";
+  return FormatDouble(v);
+}
+}  // namespace
+
+std::string LpModel::ToLpFormat() const {
+  std::ostringstream out;
+  out << (sense_ == ObjectiveSense::kMaximize ? "Maximize" : "Minimize")
+      << "\n obj:";
+  for (size_t j = 0; j < variables_.size(); ++j) {
+    const Variable& v = variables_[j];
+    if (v.objective == 0.0) continue;
+    out << (v.objective >= 0 ? " + " : " - ")
+        << FormatDouble(std::abs(v.objective)) << " " << v.name;
+  }
+  out << "\nSubject To\n";
+  for (const Constraint& c : constraints_) {
+    // Ranged rows are emitted as two inequalities for maximum portability.
+    auto emit = [&](const char* suffix, const char* op, double rhs) {
+      out << " " << c.name << suffix << ":";
+      for (const LinearTerm& t : c.terms) {
+        out << (t.coeff >= 0 ? " + " : " - ")
+            << FormatDouble(std::abs(t.coeff)) << " "
+            << variables_[t.var].name;
+      }
+      out << " " << op << " " << FormatDouble(rhs) << "\n";
+    };
+    if (c.lo == c.hi) {
+      emit("", "=", c.lo);
+    } else {
+      if (c.lo != -kInfinity) emit("_lo", ">=", c.lo);
+      if (c.hi != kInfinity) emit("_hi", "<=", c.hi);
+    }
+  }
+  out << "Bounds\n";
+  for (const Variable& v : variables_) {
+    out << " " << BoundToLp(v.lb) << " <= " << v.name
+        << " <= " << BoundToLp(v.ub) << "\n";
+  }
+  bool any_int = false;
+  for (const Variable& v : variables_) {
+    if (v.is_integer) {
+      if (!any_int) {
+        out << "General\n";
+        any_int = true;
+      }
+      out << " " << v.name << "\n";
+    }
+  }
+  out << "End\n";
+  return out.str();
+}
+
+}  // namespace pb::solver

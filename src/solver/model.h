@@ -1,0 +1,103 @@
+// LpModel: the constraint-optimization model PackageBuilder translates PaQL
+// queries into (§7 of the paper: "a PaQL query is translated into a linear
+// program and then solved using existing constraint solvers").
+//
+// The model is a mixed-integer linear program:
+//     min/max  c'x
+//     s.t.     lo_i <= a_i'x <= hi_i        (ranged rows)
+//              lb_j <= x_j  <= ub_j         (variable bounds)
+//              x_j integer for j in I
+//
+// Infinite bounds use +/- kInfinity. The builder API mirrors OSI/CBC so the
+// translator code reads like it would against a production solver.
+
+#ifndef PB_SOLVER_MODEL_H_
+#define PB_SOLVER_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pb::solver {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// One term of a linear expression: coeff * var.
+struct LinearTerm {
+  int var = -1;
+  double coeff = 0.0;
+};
+
+/// One decision variable.
+struct Variable {
+  std::string name;
+  double lb = 0.0;
+  double ub = kInfinity;
+  double objective = 0.0;
+  bool is_integer = false;
+};
+
+/// One ranged linear constraint: lo <= terms . x <= hi.
+struct Constraint {
+  std::string name;
+  std::vector<LinearTerm> terms;
+  double lo = -kInfinity;
+  double hi = kInfinity;
+};
+
+enum class ObjectiveSense { kMinimize, kMaximize };
+
+/// A MILP under construction. Indices returned by AddVariable/AddConstraint
+/// are dense and stable.
+class LpModel {
+ public:
+  /// Adds a variable; returns its index.
+  int AddVariable(std::string name, double lb, double ub, double objective,
+                  bool is_integer);
+
+  /// Adds a ranged constraint; returns its index. Terms with duplicate
+  /// variables are merged; zero coefficients are dropped.
+  int AddConstraint(std::string name, std::vector<LinearTerm> terms, double lo,
+                    double hi);
+
+  void SetSense(ObjectiveSense sense) { sense_ = sense; }
+  ObjectiveSense sense() const { return sense_; }
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+  bool has_integer_variables() const;
+
+  const Variable& variable(int j) const { return variables_[j]; }
+  Variable& mutable_variable(int j) { return variables_[j]; }
+  const Constraint& constraint(int i) const { return constraints_[i]; }
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Structural sanity: finite lb<=ub where both finite, valid term indices,
+  /// at least one variable.
+  Status Validate() const;
+
+  /// Objective value of a point under this model's sense (no feasibility
+  /// check).
+  double ObjectiveValue(const std::vector<double>& x) const;
+
+  /// Activity of constraint i at point x.
+  double Activity(int i, const std::vector<double>& x) const;
+
+  /// True if x satisfies all rows and bounds within `tol`.
+  bool IsFeasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  /// CPLEX LP-format text (for debugging / interop with external solvers).
+  std::string ToLpFormat() const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  ObjectiveSense sense_ = ObjectiveSense::kMinimize;
+};
+
+}  // namespace pb::solver
+
+#endif  // PB_SOLVER_MODEL_H_

@@ -1,0 +1,461 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pb::solver {
+
+const char* LpStatusToString(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal:        return "Optimal";
+    case LpStatus::kInfeasible:     return "Infeasible";
+    case LpStatus::kUnbounded:      return "Unbounded";
+    case LpStatus::kIterationLimit: return "IterationLimit";
+  }
+  return "?";
+}
+
+namespace {
+
+// Nonbasic status of a variable.
+enum class VarStat : int8_t { kBasic, kAtLower, kAtUpper, kFree };
+
+/// The working state of one simplex solve. Variables 0..n-1 are structural;
+/// n..n+m-1 are row slacks (column -e_i, bounds = row range).
+class Simplex {
+ public:
+  Simplex(const LpModel& model, const SimplexOptions& options,
+          const std::vector<std::pair<double, double>>* bound_override)
+      : opts_(options),
+        m_(model.num_constraints()),
+        n_(model.num_variables()),
+        total_(n_ + m_) {
+    // Internally we always minimize; flip sign for maximize.
+    sign_ = model.sense() == ObjectiveSense::kMaximize ? -1.0 : 1.0;
+
+    cols_.resize(total_);
+    lb_.resize(total_);
+    ub_.resize(total_);
+    cost_.assign(total_, 0.0);
+    for (int j = 0; j < n_; ++j) {
+      const Variable& v = model.variable(j);
+      lb_[j] = bound_override ? (*bound_override)[j].first : v.lb;
+      ub_[j] = bound_override ? (*bound_override)[j].second : v.ub;
+      cost_[j] = sign_ * v.objective;
+    }
+    for (int i = 0; i < m_; ++i) {
+      const Constraint& c = model.constraint(i);
+      for (const LinearTerm& t : c.terms) {
+        cols_[t.var].push_back({i, t.coeff});
+      }
+      int slack = n_ + i;
+      cols_[slack].push_back({i, -1.0});
+      lb_[slack] = c.lo;
+      ub_[slack] = c.hi;
+    }
+
+    if (opts_.max_iterations <= 0) {
+      max_iter_ = 200LL * (m_ + 1) + 20LL * total_ + 2000;
+    } else {
+      max_iter_ = opts_.max_iterations;
+    }
+  }
+
+  LpSolution Run() {
+    LpSolution out;
+    InitBasis();
+
+    // ---- Phase 1: drive basic bound violations to zero.
+    bool feasible = SolvePhase(/*phase1=*/true);
+    if (iterations_ >= max_iter_) {
+      out.status = LpStatus::kIterationLimit;
+      out.iterations = iterations_;
+      return out;
+    }
+    if (!feasible || TotalInfeasibility() > opts_.feas_tol * (1 + m_)) {
+      out.status = LpStatus::kInfeasible;
+      out.iterations = iterations_;
+      return out;
+    }
+
+    // ---- Phase 2: optimize the true objective.
+    bool optimal = SolvePhase(/*phase1=*/false);
+    out.iterations = iterations_;
+    if (iterations_ >= max_iter_) {
+      out.status = LpStatus::kIterationLimit;
+      return out;
+    }
+    if (!optimal) {
+      out.status = LpStatus::kUnbounded;
+      return out;
+    }
+    out.status = LpStatus::kOptimal;
+    out.x.assign(x_.begin(), x_.begin() + n_);
+    double obj = 0.0;
+    for (int j = 0; j < n_; ++j) obj += cost_[j] * x_[j];
+    out.objective = sign_ * obj;
+    return out;
+  }
+
+ private:
+  static constexpr double kInf = kInfinity;
+
+  /// Puts every slack in the basis, structural variables at their "natural"
+  /// bound (the finite bound nearest zero; free variables at 0).
+  void InitBasis() {
+    basis_.resize(m_);
+    stat_.assign(total_, VarStat::kAtLower);
+    x_.assign(total_, 0.0);
+    for (int j = 0; j < total_; ++j) {
+      if (lb_[j] == -kInf && ub_[j] == kInf) {
+        stat_[j] = VarStat::kFree;
+        x_[j] = 0.0;
+      } else if (lb_[j] == -kInf) {
+        stat_[j] = VarStat::kAtUpper;
+        x_[j] = ub_[j];
+      } else if (ub_[j] == kInf) {
+        stat_[j] = VarStat::kAtLower;
+        x_[j] = lb_[j];
+      } else {
+        // Both finite: start at the bound with smaller magnitude.
+        bool lower = std::abs(lb_[j]) <= std::abs(ub_[j]);
+        stat_[j] = lower ? VarStat::kAtLower : VarStat::kAtUpper;
+        x_[j] = lower ? lb_[j] : ub_[j];
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      basis_[i] = n_ + i;
+      stat_[n_ + i] = VarStat::kBasic;
+    }
+    // Slack basis inverse: B = -I  =>  B^{-1} = -I.
+    binv_.assign(m_ * m_, 0.0);
+    for (int i = 0; i < m_; ++i) binv_[i * m_ + i] = -1.0;
+    RecomputeBasicValues();
+  }
+
+  /// x_B = B^{-1} (0 - N x_N).
+  void RecomputeBasicValues() {
+    std::vector<double> rhs(m_, 0.0);
+    for (int j = 0; j < total_; ++j) {
+      if (stat_[j] == VarStat::kBasic || x_[j] == 0.0) continue;
+      for (const auto& [row, coeff] : cols_[j]) rhs[row] -= coeff * x_[j];
+    }
+    for (int i = 0; i < m_; ++i) {
+      double v = 0.0;
+      for (int k = 0; k < m_; ++k) v += binv_[i * m_ + k] * rhs[k];
+      x_[basis_[i]] = v;
+    }
+  }
+
+  /// Rebuilds binv_ from the basis columns by Gauss-Jordan with partial
+  /// pivoting. Returns false if the basis matrix is (numerically) singular.
+  bool Refactorize() {
+    std::vector<double> mat(m_ * m_, 0.0);   // basis matrix B
+    std::vector<double> inv(m_ * m_, 0.0);
+    for (int i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
+    for (int c = 0; c < m_; ++c) {
+      for (const auto& [row, coeff] : cols_[basis_[c]]) {
+        mat[row * m_ + c] = coeff;
+      }
+    }
+    for (int c = 0; c < m_; ++c) {
+      int piv = -1;
+      double best = opts_.pivot_tol;
+      for (int r = c; r < m_; ++r) {
+        if (std::abs(mat[r * m_ + c]) > best) {
+          best = std::abs(mat[r * m_ + c]);
+          piv = r;
+        }
+      }
+      if (piv < 0) return false;
+      if (piv != c) {
+        for (int k = 0; k < m_; ++k) {
+          std::swap(mat[piv * m_ + k], mat[c * m_ + k]);
+          std::swap(inv[piv * m_ + k], inv[c * m_ + k]);
+        }
+      }
+      double d = mat[c * m_ + c];
+      for (int k = 0; k < m_; ++k) {
+        mat[c * m_ + k] /= d;
+        inv[c * m_ + k] /= d;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == c) continue;
+        double f = mat[r * m_ + c];
+        if (f == 0.0) continue;
+        for (int k = 0; k < m_; ++k) {
+          mat[r * m_ + k] -= f * mat[c * m_ + k];
+          inv[r * m_ + k] -= f * inv[c * m_ + k];
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    RecomputeBasicValues();
+    return true;
+  }
+
+  double Violation(int j) const {
+    if (x_[j] < lb_[j]) return lb_[j] - x_[j];
+    if (x_[j] > ub_[j]) return x_[j] - ub_[j];
+    return 0.0;
+  }
+
+  double TotalInfeasibility() const {
+    double total = 0.0;
+    for (int i = 0; i < m_; ++i) total += Violation(basis_[i]);
+    return total;
+  }
+
+  /// alpha = B^{-1} a_j for a column j.
+  void Ftran(int j, std::vector<double>* alpha) const {
+    alpha->assign(m_, 0.0);
+    for (const auto& [row, coeff] : cols_[j]) {
+      for (int i = 0; i < m_; ++i) {
+        (*alpha)[i] += binv_[i * m_ + row] * coeff;
+      }
+    }
+  }
+
+  /// y = c_B B^{-1} where c_B is the (phase-dependent) basic cost vector.
+  void ComputeDuals(bool phase1, std::vector<double>* y) const {
+    y->assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      double cb;
+      if (phase1) {
+        int b = basis_[i];
+        if (x_[b] < lb_[b] - opts_.feas_tol) cb = -1.0;        // below: grow
+        else if (x_[b] > ub_[b] + opts_.feas_tol) cb = 1.0;    // above: shrink
+        else cb = 0.0;
+      } else {
+        cb = cost_[basis_[i]];
+      }
+      if (cb == 0.0) continue;
+      for (int k = 0; k < m_; ++k) (*y)[k] += cb * binv_[i * m_ + k];
+    }
+  }
+
+  double ReducedCost(int j, bool phase1, const std::vector<double>& y) const {
+    double d = phase1 ? 0.0 : cost_[j];
+    for (const auto& [row, coeff] : cols_[j]) d -= y[row] * coeff;
+    return d;
+  }
+
+  /// Runs one phase to completion. Returns:
+  ///   phase 1 — true when no improving direction remains (then feasibility
+  ///             is judged by TotalInfeasibility());
+  ///   phase 2 — true for optimal, false for unbounded.
+  /// May also stop on the iteration limit (caller checks iterations_).
+  bool SolvePhase(bool phase1) {
+    std::vector<double> y, alpha;
+    int since_refactor = 0;
+    while (iterations_ < max_iter_) {
+      if (phase1 && TotalInfeasibility() <= opts_.feas_tol) return true;
+
+      ComputeDuals(phase1, &y);
+
+      // Pricing. Dantzig rule normally; Bland's (lowest eligible index)
+      // once the iteration count suggests cycling.
+      bool bland = iterations_ > bland_threshold_;
+      int enter = -1;
+      double best_score = opts_.opt_tol;
+      int enter_dir = 0;  // +1 increase, -1 decrease
+      for (int j = 0; j < total_; ++j) {
+        if (stat_[j] == VarStat::kBasic) continue;
+        double d = ReducedCost(j, phase1, y);
+        int dir = 0;
+        double score = 0.0;
+        if (stat_[j] == VarStat::kAtLower && d < -opts_.opt_tol) {
+          dir = +1;
+          score = -d;
+        } else if (stat_[j] == VarStat::kAtUpper && d > opts_.opt_tol) {
+          dir = -1;
+          score = d;
+        } else if (stat_[j] == VarStat::kFree &&
+                   std::abs(d) > opts_.opt_tol) {
+          dir = d < 0 ? +1 : -1;
+          score = std::abs(d);
+        }
+        if (dir == 0) continue;
+        if (bland) {
+          enter = j;
+          enter_dir = dir;
+          break;
+        }
+        if (score > best_score) {
+          best_score = score;
+          enter = j;
+          enter_dir = dir;
+        }
+      }
+      if (enter < 0) {
+        // No improving direction: phase-1 stalls (feasible or not);
+        // phase-2 is optimal.
+        return true;
+      }
+
+      Ftran(enter, &alpha);
+
+      // Ratio test. The entering variable moves by t >= 0 in direction
+      // enter_dir; basic i changes at rate delta_i = -enter_dir * alpha_i.
+      double limit = kInf;
+      int leave_row = -1;
+      double leave_to_bound = 0.0;  // bound value the leaving var lands on
+      VarStat leave_stat = VarStat::kAtLower;
+      // Entering variable's own opposite bound (bound flip).
+      if (stat_[enter] == VarStat::kAtLower && ub_[enter] < kInf) {
+        limit = ub_[enter] - lb_[enter];
+      } else if (stat_[enter] == VarStat::kAtUpper && lb_[enter] > -kInf) {
+        limit = ub_[enter] - lb_[enter];
+      }
+      for (int i = 0; i < m_; ++i) {
+        double rate = -enter_dir * alpha[i];
+        if (std::abs(rate) < opts_.pivot_tol) continue;
+        int b = basis_[i];
+        double t;
+        VarStat to_stat;
+        double to_bound;
+        bool below = x_[b] < lb_[b] - opts_.feas_tol;
+        bool above = x_[b] > ub_[b] + opts_.feas_tol;
+        if (phase1 && below) {
+          // Infeasible-below basic blocks where its cost segment changes:
+          // at its lower bound when moving up; never when moving down.
+          if (rate <= 0) continue;
+          t = (lb_[b] - x_[b]) / rate;
+          to_stat = VarStat::kAtLower;
+          to_bound = lb_[b];
+        } else if (phase1 && above) {
+          if (rate >= 0) continue;
+          t = (ub_[b] - x_[b]) / rate;
+          to_stat = VarStat::kAtUpper;
+          to_bound = ub_[b];
+        } else if (rate > 0) {
+          if (ub_[b] == kInf) continue;
+          t = (ub_[b] - x_[b]) / rate;
+          to_stat = VarStat::kAtUpper;
+          to_bound = ub_[b];
+        } else {
+          if (lb_[b] == -kInf) continue;
+          t = (lb_[b] - x_[b]) / rate;
+          to_stat = VarStat::kAtLower;
+          to_bound = lb_[b];
+        }
+        t = std::max(t, 0.0);
+        if (t < limit - 1e-12 ||
+            (leave_row >= 0 && t < limit + 1e-12 &&
+             std::abs(alpha[i]) > std::abs(alpha[leave_row]))) {
+          limit = t;
+          leave_row = i;
+          leave_stat = to_stat;
+          leave_to_bound = to_bound;
+        }
+      }
+
+      if (limit == kInf) {
+        // Unbounded direction. In phase 1 this cannot lower a
+        // nonnegative objective forever — treat as numerical trouble and
+        // report infeasible via the caller's infeasibility check.
+        return !phase1 ? false : true;
+      }
+
+      ++iterations_;
+
+      // Apply the step.
+      double t = limit;
+      if (leave_row < 0) {
+        // Bound flip of the entering variable.
+        x_[enter] += enter_dir * t;
+        stat_[enter] =
+            stat_[enter] == VarStat::kAtLower ? VarStat::kAtUpper
+                                              : VarStat::kAtLower;
+        for (int i = 0; i < m_; ++i) {
+          x_[basis_[i]] += -enter_dir * alpha[i] * t;
+        }
+        continue;
+      }
+
+      // Pivot: enter replaces basis_[leave_row].
+      int leave = basis_[leave_row];
+      for (int i = 0; i < m_; ++i) {
+        x_[basis_[i]] += -enter_dir * alpha[i] * t;
+      }
+      x_[enter] += enter_dir * t;
+      x_[leave] = leave_to_bound;
+      stat_[leave] = leave_stat;
+      stat_[enter] = VarStat::kBasic;
+      basis_[leave_row] = enter;
+
+      // Update B^{-1}: row ops so that column `enter` becomes e_{leave_row}.
+      double piv = alpha[leave_row];
+      if (std::abs(piv) < opts_.pivot_tol) {
+        if (!Refactorize()) return !phase1 ? false : true;
+        continue;
+      }
+      double* prow = &binv_[leave_row * m_];
+      for (int k = 0; k < m_; ++k) prow[k] /= piv;
+      for (int i = 0; i < m_; ++i) {
+        if (i == leave_row) continue;
+        double f = alpha[i];
+        if (f == 0.0) continue;
+        double* row = &binv_[i * m_];
+        for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
+      }
+
+      if (++since_refactor >= opts_.refactor_every) {
+        since_refactor = 0;
+        if (!Refactorize()) return !phase1 ? false : true;
+      }
+    }
+    return true;  // iteration limit; caller inspects iterations_
+  }
+
+  SimplexOptions opts_;
+  int m_, n_, total_;
+  double sign_ = 1.0;
+  int64_t max_iter_ = 0;
+  int64_t iterations_ = 0;
+  int64_t bland_threshold_ = 0;
+
+  std::vector<std::vector<std::pair<int, double>>> cols_;  // per-variable
+  std::vector<double> lb_, ub_, cost_;
+  std::vector<int> basis_;
+  std::vector<VarStat> stat_;
+  std::vector<double> x_;
+  std::vector<double> binv_;  // m x m row-major
+
+ public:
+  void set_bland_threshold(int64_t t) { bland_threshold_ = t; }
+};
+
+}  // namespace
+
+Result<LpSolution> SolveLp(
+    const LpModel& model, const SimplexOptions& options,
+    const std::vector<std::pair<double, double>>* bound_override) {
+  PB_RETURN_IF_ERROR(model.Validate());
+  if (bound_override) {
+    if (static_cast<int>(bound_override->size()) != model.num_variables()) {
+      return Status::InvalidArgument(
+          "bound_override size does not match variable count");
+    }
+    for (const auto& [lo, hi] : *bound_override) {
+      if (lo > hi) {
+        LpSolution s;
+        s.status = LpStatus::kInfeasible;
+        return s;
+      }
+    }
+  }
+  Simplex solver(model, options, bound_override);
+  // Switch to Bland's rule after a generous Dantzig budget (immediately
+  // when the ablation knob asks for it).
+  solver.set_bland_threshold(
+      options.always_bland
+          ? -1
+          : 50LL * (model.num_constraints() + 1) +
+                2LL * (model.num_variables() + model.num_constraints()) + 500);
+  return solver.Run();
+}
+
+}  // namespace pb::solver

@@ -1,0 +1,63 @@
+// Bounded-variable revised primal simplex.
+//
+// This is the LP engine underneath the MILP branch-and-bound. It handles
+// ranged constraints (lo <= ax <= hi) by introducing one slack per row
+// (ax - s = 0, s in [lo, hi]) and runs a two-phase primal simplex:
+//
+//   Phase 1 starts from the always-valid slack basis and minimizes the total
+//   bound violation of basic variables (piecewise-linear composite phase 1;
+//   the cost vector is re-derived each iteration, and infeasible basics
+//   block the ratio test at the bound where their cost segment changes).
+//
+//   Phase 2 is the standard bounded-variable primal simplex with Dantzig
+//   pricing and a Bland's-rule fallback for anti-cycling after a stall
+//   threshold. The basis inverse is kept dense (rows are few in package
+//   models: one per global constraint) and refactorized periodically.
+
+#ifndef PB_SOLVER_SIMPLEX_H_
+#define PB_SOLVER_SIMPLEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "solver/model.h"
+
+namespace pb::solver {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* LpStatusToString(LpStatus s);
+
+/// Result of one LP solve.
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  /// Structural variable values (model order); valid when kOptimal.
+  std::vector<double> x;
+  /// Objective under the model's sense; valid when kOptimal.
+  double objective = 0.0;
+  int64_t iterations = 0;
+};
+
+struct SimplexOptions {
+  double feas_tol = 1e-7;     ///< bound/row feasibility tolerance
+  double opt_tol = 1e-9;      ///< reduced-cost optimality tolerance
+  double pivot_tol = 1e-9;    ///< smallest acceptable pivot magnitude
+  int64_t max_iterations = 0; ///< 0 = automatic (scaled to model size)
+  int refactor_every = 64;    ///< basis-inverse refactorization period
+  /// Use Bland's rule from the first iteration (ablation knob; the default
+  /// prices with Dantzig and falls back to Bland only on suspected cycling).
+  bool always_bland = false;
+};
+
+/// Solves the LP relaxation of `model` (integrality is ignored).
+/// `bound_override`, when non-null, replaces variable bounds (used by
+/// branch-and-bound nodes); it must have one (lb, ub) pair per variable.
+Result<LpSolution> SolveLp(
+    const LpModel& model, const SimplexOptions& options = {},
+    const std::vector<std::pair<double, double>>* bound_override = nullptr);
+
+}  // namespace pb::solver
+
+#endif  // PB_SOLVER_SIMPLEX_H_

@@ -1,0 +1,176 @@
+// Tests for the workload generators: determinism, schema shape, and the
+// distributional/derived-column invariants the benches rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/distributions.h"
+#include "datagen/lineitem.h"
+#include "datagen/recipes.h"
+#include "datagen/stocks.h"
+#include "datagen/travel.h"
+
+namespace pb::datagen {
+namespace {
+
+// ----- Distributions ----------------------------------------------------------
+
+TEST(DistributionsTest, ZipfRanksInRangeAndSkewed) {
+  Rng rng(3);
+  ZipfDistribution zipf(100, 1.2);
+  int low_rank = 0;
+  for (int i = 0; i < 2000; ++i) {
+    size_t r = zipf.Sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+    if (r <= 10) ++low_rank;
+  }
+  // Zipf(1.2): the top decile dominates.
+  EXPECT_GT(low_rank, 1000);
+}
+
+TEST(DistributionsTest, ClampedDrawsRespectBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    double n = ClampedNormal(rng, 0, 100, -5, 5);
+    EXPECT_GE(n, -5);
+    EXPECT_LE(n, 5);
+    double ln = ClampedLogNormal(rng, 0, 2, 0.5, 3);
+    EXPECT_GE(ln, 0.5);
+    EXPECT_LE(ln, 3);
+  }
+}
+
+TEST(DistributionsTest, WeightedChoiceFollowsWeights) {
+  Rng rng(9);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(WeightedChoice(rng, w), 1u);
+  }
+}
+
+TEST(DistributionsTest, RoundTo) {
+  EXPECT_DOUBLE_EQ(RoundTo(3.14159, 2), 3.14);
+  EXPECT_DOUBLE_EQ(RoundTo(2.5, 0), 3.0);
+  EXPECT_DOUBLE_EQ(RoundTo(-1.005, 1), -1.0);
+}
+
+// ----- Generators ---------------------------------------------------------------
+
+TEST(RecipesTest, DeterministicAndWellFormed) {
+  db::Table a = GenerateRecipes(200, 42);
+  db::Table b = GenerateRecipes(200, 42);
+  ASSERT_EQ(a.num_rows(), 200u);
+  ASSERT_EQ(b.num_rows(), 200u);
+  for (size_t r = 0; r < 200; r += 37) {
+    for (size_t c = 0; c < a.schema().num_columns(); ++c) {
+      EXPECT_EQ(a.at(r, c).Compare(b.at(r, c)), 0);
+    }
+  }
+  db::Table c = GenerateRecipes(200, 43);
+  bool any_diff = false;
+  for (size_t r = 0; r < 200 && !any_diff; ++r) {
+    if (a.at(r, 4).Compare(c.at(r, 4)) != 0) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds produced identical calories";
+}
+
+TEST(RecipesTest, MarginalsInPlausibleRanges) {
+  db::Table t = GenerateRecipes(1000, 7);
+  auto cal_idx = t.schema().IndexOf("calories");
+  ASSERT_TRUE(cal_idx.ok());
+  const db::ColumnStats& cal = t.stats(*cal_idx);
+  EXPECT_GE(*cal.min, 90.0);
+  EXPECT_LE(*cal.max, 1600.0);
+  EXPECT_GT(cal.mean(), 300.0);
+  EXPECT_LT(cal.mean(), 900.0);
+  // Macros consistent-ish with calories: protein grams stay bounded.
+  auto prot_idx = t.schema().IndexOf("protein");
+  EXPECT_LT(*t.stats(*prot_idx).max, 1600.0 * 0.40 / 4.0 + 1);
+}
+
+TEST(RecipesTest, GlutenFractionKnob) {
+  RecipeOptions opts;
+  opts.gluten_free_fraction = 0.9;
+  db::Table t = GenerateRecipes(2000, 3, opts);
+  auto g_idx = t.schema().IndexOf("gluten");
+  ASSERT_TRUE(g_idx.ok());
+  int free_count = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.at(r, *g_idx).AsString() == "free") ++free_count;
+  }
+  EXPECT_GT(free_count, 1650);
+  EXPECT_LT(free_count, 1950);
+}
+
+TEST(TravelTest, IndicatorColumnsConsistent) {
+  db::Table t = GenerateTravelItems(500, 5);
+  auto kind = *t.schema().IndexOf("kind");
+  auto is_f = *t.schema().IndexOf("is_flight");
+  auto is_h = *t.schema().IndexOf("is_hotel");
+  auto is_c = *t.schema().IndexOf("is_car");
+  auto beach = *t.schema().IndexOf("beach_km");
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    int64_t f = t.at(r, is_f).AsInt();
+    int64_t h = t.at(r, is_h).AsInt();
+    int64_t c = t.at(r, is_c).AsInt();
+    EXPECT_EQ(f + h + c, 1) << "exactly one kind per item";
+    const std::string& k = t.at(r, kind).AsString();
+    EXPECT_EQ(f == 1, k == "flight");
+    EXPECT_EQ(h == 1, k == "hotel");
+    if (h == 0) {
+      EXPECT_DOUBLE_EQ(*t.at(r, beach).ToDouble(), 0.0);
+    }
+  }
+}
+
+TEST(TravelTest, MixRoughlyFollowsFractions) {
+  db::Table t = GenerateTravelItems(3000, 11);
+  auto is_f = *t.schema().IndexOf("is_flight");
+  EXPECT_NEAR(t.stats(is_f).sum / 3000.0, 0.45, 0.05);
+}
+
+TEST(StocksTest, DerivedColumnsConsistent) {
+  db::Table t = GenerateStocks(400, 13);
+  auto price = *t.schema().IndexOf("price");
+  auto tech_value = *t.schema().IndexOf("tech_value");
+  auto is_tech = *t.schema().IndexOf("is_tech");
+  auto is_short = *t.schema().IndexOf("is_short");
+  auto is_long = *t.schema().IndexOf("is_long");
+  auto sector = *t.schema().IndexOf("sector");
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    bool tech = t.at(r, is_tech).AsInt() == 1;
+    EXPECT_EQ(tech, t.at(r, sector).AsString() == "tech");
+    double tv = *t.at(r, tech_value).ToDouble();
+    if (tech) {
+      EXPECT_DOUBLE_EQ(tv, *t.at(r, price).ToDouble());
+    } else {
+      EXPECT_DOUBLE_EQ(tv, 0.0);
+    }
+    EXPECT_EQ(t.at(r, is_short).AsInt() + t.at(r, is_long).AsInt(), 1);
+  }
+}
+
+TEST(LineitemTest, RevenueDerivation) {
+  db::Table t = GenerateLineitems(300, 17);
+  auto price = *t.schema().IndexOf("extendedprice");
+  auto disc = *t.schema().IndexOf("discount");
+  auto rev = *t.schema().IndexOf("revenue");
+  for (size_t r = 0; r < t.num_rows(); r += 13) {
+    double expect = *t.at(r, price).ToDouble() *
+                    (1.0 - *t.at(r, disc).ToDouble());
+    EXPECT_NEAR(*t.at(r, rev).ToDouble(), expect, 0.01);
+  }
+  auto d = t.stats(disc);
+  EXPECT_GE(*d.min, 0.0);
+  EXPECT_LE(*d.max, 0.10 + 1e-9);
+}
+
+TEST(LineitemTest, SizesScale) {
+  EXPECT_EQ(GenerateLineitems(10, 1).num_rows(), 10u);
+  EXPECT_EQ(GenerateLineitems(5000, 1).num_rows(), 5000u);
+}
+
+}  // namespace
+}  // namespace pb::datagen

@@ -1,0 +1,158 @@
+// Tests for the diverse-package-results extension (§5's stated challenge)
+// and the Jaccard multiset distance underneath it.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/enumerator.h"
+#include "core/package.h"
+#include "datagen/recipes.h"
+#include "db/catalog.h"
+#include "paql/analyzer.h"
+
+namespace pb::core {
+namespace {
+
+Package Make(std::initializer_list<std::pair<size_t, int64_t>> items) {
+  Package p;
+  for (auto [row, mult] : items) p.Add(row, mult);
+  return p;
+}
+
+TEST(JaccardTest, IdenticalIsZero) {
+  Package a = Make({{1, 1}, {2, 2}});
+  EXPECT_DOUBLE_EQ(PackageJaccardDistance(a, a), 0.0);
+}
+
+TEST(JaccardTest, DisjointIsOne) {
+  Package a = Make({{1, 1}, {2, 1}});
+  Package b = Make({{3, 1}, {4, 1}});
+  EXPECT_DOUBLE_EQ(PackageJaccardDistance(a, b), 1.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // A = {1, 2}, B = {2, 3}: intersection 1, union 3 -> 1 - 1/3.
+  Package a = Make({{1, 1}, {2, 1}});
+  Package b = Make({{2, 1}, {3, 1}});
+  EXPECT_NEAR(PackageJaccardDistance(a, b), 2.0 / 3.0, 1e-12);
+}
+
+TEST(JaccardTest, MultiplicitiesCount) {
+  // A = {1 x2}, B = {1 x1}: intersection 1, union 2 -> 0.5.
+  Package a = Make({{1, 2}});
+  Package b = Make({{1, 1}});
+  EXPECT_NEAR(PackageJaccardDistance(a, b), 0.5, 1e-12);
+}
+
+TEST(JaccardTest, SymmetricAndBounded) {
+  Package a = Make({{1, 2}, {5, 1}});
+  Package b = Make({{1, 1}, {7, 3}});
+  double ab = PackageJaccardDistance(a, b);
+  EXPECT_DOUBLE_EQ(ab, PackageJaccardDistance(b, a));
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(JaccardTest, EmptyPackages) {
+  Package empty;
+  Package a = Make({{1, 1}});
+  EXPECT_DOUBLE_EQ(PackageJaccardDistance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(PackageJaccardDistance(empty, a), 1.0);
+}
+
+class DiversityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.RegisterOrReplace(datagen::GenerateRecipes(60, 47));
+  }
+  db::Catalog catalog_;
+};
+
+TEST_F(DiversityTest, DiverseSetIsMoreSpreadThanTopK) {
+  auto aq = paql::ParseAndAnalyze(
+      "SELECT PACKAGE(R) FROM recipes R WHERE gluten = 'free' "
+      "SUCH THAT COUNT(*) = 3 AND SUM(calories) <= 2400 "
+      "MAXIMIZE SUM(protein)",
+      catalog_);
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  const size_t k = 5;
+  auto top = EnumerateViaSolver(*aq, [&]{ EnumerateOptions o; o.max_packages = k; return o; }());
+  auto diverse = EnumerateDiverse(*aq, k, /*pool_factor=*/6);
+  ASSERT_TRUE(top.ok());
+  ASSERT_TRUE(diverse.ok());
+  ASSERT_EQ(diverse->size(), k);
+
+  auto min_pairwise = [](const std::vector<Package>& ps) {
+    double mn = 1.0;
+    for (size_t i = 0; i < ps.size(); ++i) {
+      for (size_t j = i + 1; j < ps.size(); ++j) {
+        mn = std::min(mn, PackageJaccardDistance(ps[i], ps[j]));
+      }
+    }
+    return mn;
+  };
+  // Diversification must not decrease the minimum pairwise distance.
+  EXPECT_GE(min_pairwise(*diverse), min_pairwise(*top) - 1e-12);
+  // All results are valid, distinct packages.
+  std::set<std::string> seen;
+  for (const Package& p : *diverse) {
+    EXPECT_TRUE(*IsValidPackage(*aq, p));
+    EXPECT_TRUE(seen.insert(p.Fingerprint()).second);
+  }
+}
+
+TEST_F(DiversityTest, BestPackageAlwaysIncluded) {
+  auto aq = paql::ParseAndAnalyze(
+      "SELECT PACKAGE(R) FROM recipes R WHERE gluten = 'free' "
+      "SUCH THAT COUNT(*) = 2 AND SUM(calories) <= 1500 "
+      "MAXIMIZE SUM(protein)",
+      catalog_);
+  ASSERT_TRUE(aq.ok());
+  auto best = EnumerateViaSolver(*aq, [&]{ EnumerateOptions o; o.max_packages = 1; return o; }());
+  auto diverse = EnumerateDiverse(*aq, 4);
+  ASSERT_TRUE(best.ok());
+  ASSERT_TRUE(diverse.ok());
+  ASSERT_FALSE(best->empty());
+  ASSERT_FALSE(diverse->empty());
+  EXPECT_EQ((*diverse)[0].Fingerprint(), (*best)[0].Fingerprint());
+}
+
+TEST_F(DiversityTest, SmallPoolsReturnedWhole) {
+  // A query with very few solutions: diversification degrades gracefully.
+  db::Catalog tiny;
+  tiny.RegisterOrReplace(datagen::GenerateRecipes(6, 2));
+  auto aq = paql::ParseAndAnalyze(
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT COUNT(*) = 5", tiny);
+  ASSERT_TRUE(aq.ok());
+  auto diverse = EnumerateDiverse(*aq, 50);
+  ASSERT_TRUE(diverse.ok());
+  EXPECT_EQ(diverse->size(), 6u);  // C(6,5)
+}
+
+TEST_F(DiversityTest, ZeroRequestedIsEmpty) {
+  auto aq = paql::ParseAndAnalyze(
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT COUNT(*) = 2", catalog_);
+  ASSERT_TRUE(aq.ok());
+  auto diverse = EnumerateDiverse(*aq, 0);
+  ASSERT_TRUE(diverse.ok());
+  EXPECT_TRUE(diverse->empty());
+}
+
+TEST_F(DiversityTest, RepeatQueriesUseExhaustivePool) {
+  db::Catalog tiny;
+  tiny.RegisterOrReplace(datagen::GenerateRecipes(8, 3));
+  auto aq = paql::ParseAndAnalyze(
+      "SELECT PACKAGE(R) FROM recipes R REPEAT 2 SUCH THAT COUNT(*) = 3",
+      tiny);
+  ASSERT_TRUE(aq.ok());
+  auto diverse = EnumerateDiverse(*aq, 4);
+  ASSERT_TRUE(diverse.ok());
+  EXPECT_EQ(diverse->size(), 4u);
+  for (const Package& p : *diverse) {
+    EXPECT_TRUE(*IsValidPackage(*aq, p));
+  }
+}
+
+}  // namespace
+}  // namespace pb::core

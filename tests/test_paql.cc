@@ -1,0 +1,389 @@
+// Unit tests for the PaQL language: lexer, parser, AST printing, and the
+// semantic analyzer's linear-structure extraction.
+
+#include <gtest/gtest.h>
+
+#include "datagen/recipes.h"
+#include "db/catalog.h"
+#include "paql/analyzer.h"
+#include "paql/lexer.h"
+#include "paql/parser.h"
+
+namespace pb::paql {
+namespace {
+
+// ----- Lexer -----------------------------------------------------------------
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto toks = Lex("select PACKAGE Such tHaT");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 5u);  // incl. kEnd
+  EXPECT_TRUE((*toks)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*toks)[1].IsKeyword("PACKAGE"));
+  EXPECT_TRUE((*toks)[2].IsKeyword("SUCH"));
+  EXPECT_TRUE((*toks)[3].IsKeyword("THAT"));
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  auto toks = Lex("42 3.14 1e3 2.5E-2 .5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ((*toks)[0].int_value, 42);
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*toks)[1].double_value, 3.14);
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*toks)[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*toks)[3].double_value, 0.025);
+  EXPECT_DOUBLE_EQ((*toks)[4].double_value, 0.5);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto toks = Lex("'free' 'it''s'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "free");
+  EXPECT_EQ((*toks)[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_EQ(Lex("'oops").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  auto toks = Lex("<= >= <> != = < >");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kLe);
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kGe);
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kNe);
+  EXPECT_EQ((*toks)[3].kind, TokenKind::kNe);
+  EXPECT_EQ((*toks)[4].kind, TokenKind::kEq);
+  EXPECT_EQ((*toks)[5].kind, TokenKind::kLt);
+  EXPECT_EQ((*toks)[6].kind, TokenKind::kGt);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto toks = Lex("SELECT -- a comment\n PACKAGE");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);
+  EXPECT_TRUE((*toks)[1].IsKeyword("PACKAGE"));
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_EQ(Lex("SELECT @").status().code(), StatusCode::kParseError);
+}
+
+// ----- Parser ----------------------------------------------------------------
+
+TEST(ParserTest, MinimalQuery) {
+  auto q = Parse("SELECT PACKAGE(R) FROM Recipes R");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->relation, "Recipes");
+  EXPECT_EQ(q->relation_alias, "R");
+  EXPECT_EQ(q->package_alias, "R");
+  EXPECT_FALSE(q->repeat.has_value());
+  EXPECT_EQ(q->where, nullptr);
+  EXPECT_EQ(q->such_that, nullptr);
+  EXPECT_FALSE(q->objective.has_value());
+}
+
+TEST(ParserTest, FullMealQuery) {
+  auto q = Parse(
+      "SELECT PACKAGE(R) AS P FROM Recipes R WHERE R.gluten = 'free' "
+      "SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 "
+      "MAXIMIZE SUM(P.protein)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->package_alias, "P");
+  ASSERT_NE(q->where, nullptr);
+  ASSERT_NE(q->such_that, nullptr);
+  ASSERT_TRUE(q->objective.has_value());
+  EXPECT_EQ(q->objective->sense, ObjectiveSense::kMaximize);
+  // SUCH THAT is an AND of two comparisons.
+  EXPECT_EQ(q->such_that->kind, GExprKind::kBool);
+}
+
+TEST(ParserTest, RepeatClause) {
+  auto q = Parse("SELECT PACKAGE(R) FROM Recipes R REPEAT 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->repeat.value_or(-1), 3);
+  EXPECT_FALSE(Parse("SELECT PACKAGE(R) FROM Recipes R REPEAT 0").ok());
+}
+
+TEST(ParserTest, PackageMustReferenceFromRelation) {
+  EXPECT_FALSE(Parse("SELECT PACKAGE(X) FROM Recipes R").ok());
+  EXPECT_TRUE(Parse("SELECT PACKAGE(Recipes) FROM Recipes R").ok());
+}
+
+TEST(ParserTest, LimitClause) {
+  auto q = Parse("SELECT PACKAGE(R) FROM Recipes R LIMIT 5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->limit.value_or(-1), 5);
+}
+
+TEST(ParserTest, TrailingInputFails) {
+  EXPECT_FALSE(Parse("SELECT PACKAGE(R) FROM Recipes R garbage garbage").ok());
+}
+
+TEST(ParserTest, WhereSubLanguage) {
+  auto e = ParseScalarExpr(
+      "gluten = 'free' AND (calories < 500 OR protein >= 20) "
+      "AND name LIKE 'ch%' AND cuisine IN ('thai', 'greek') "
+      "AND sodium IS NOT NULL AND cost NOT BETWEEN 5 AND 10");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  // Pretty-print round-trips through the parser.
+  auto again = ParseScalarExpr((*e)->ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->ToString(), (*e)->ToString());
+}
+
+TEST(ParserTest, GlobalSubLanguage) {
+  auto g = ParseGlobalExpr(
+      "COUNT(*) = 3 AND SUM(calories) + 2 * SUM(fat) <= 100 AND "
+      "(AVG(protein) >= 10 OR MIN(rating) > 2)");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  auto again = ParseGlobalExpr((*g)->ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->ToString(), (*g)->ToString());
+}
+
+TEST(ParserTest, BetweenBindsTighterThanAnd) {
+  auto g = ParseGlobalExpr("SUM(a) BETWEEN 1 AND 2 AND COUNT(*) = 3");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ((*g)->kind, GExprKind::kBool);
+  EXPECT_EQ((*g)->children[0]->kind, GExprKind::kBetween);
+  EXPECT_EQ((*g)->children[1]->kind, GExprKind::kCompare);
+}
+
+TEST(ParserTest, CountStarOnlyForCount) {
+  EXPECT_FALSE(ParseGlobalExpr("SUM(*) > 0").ok());
+  EXPECT_TRUE(ParseGlobalExpr("COUNT(*) > 0").ok());
+}
+
+TEST(ParserTest, ArithmeticInsideAggregates) {
+  auto g = ParseGlobalExpr("SUM(price * quantity) <= 100");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+}
+
+TEST(ParserTest, NotAndNestedBooleans) {
+  auto g = ParseGlobalExpr("NOT (COUNT(*) = 0 OR SUM(x) < 1)");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ((*g)->kind, GExprKind::kNot);
+}
+
+TEST(ParserTest, QueryToPaqlRoundTrips) {
+  const char* text =
+      "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 2 "
+      "WHERE R.gluten = 'free' "
+      "SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 "
+      "MAXIMIZE SUM(P.protein) LIMIT 4";
+  auto q = Parse(text);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto q2 = Parse(q->ToPaql());
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString() << "\n" << q->ToPaql();
+  EXPECT_EQ(q2->ToPaql(), q->ToPaql());
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto r = Parse("SELECT BUNDLE(R) FROM Recipes R");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+// ----- Natural-language descriptions ------------------------------------------
+
+TEST(DescribeTest, ConstraintDescriptions) {
+  auto g = ParseGlobalExpr("SUM(calories) BETWEEN 2000 AND 2500");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(DescribeGlobalConstraint(**g),
+            "the total calories must be between 2000 and 2500");
+  auto c = ParseGlobalExpr("COUNT(*) = 3");
+  EXPECT_EQ(DescribeGlobalConstraint(**c),
+            "the number of tuples must be exactly 3");
+  auto m = ParseGlobalExpr("MIN(rating) >= 4");
+  EXPECT_EQ(DescribeGlobalConstraint(**m),
+            "the smallest rating must be at least 4");
+}
+
+TEST(DescribeTest, ObjectiveDescription) {
+  Objective o;
+  o.sense = ObjectiveSense::kMinimize;
+  auto expr = ParseAggregateExpr("SUM(fat)");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  o.expr = *expr;
+  EXPECT_EQ(DescribeObjective(o), "minimize the total fat");
+}
+
+TEST(ParserTest, AggregateExprSubLanguage) {
+  EXPECT_TRUE(ParseAggregateExpr("SUM(protein) - 2 * SUM(fat)").ok());
+  EXPECT_FALSE(ParseAggregateExpr("SUM(protein) >= 3").ok());  // comparison
+  EXPECT_FALSE(ParseAggregateExpr("").ok());
+}
+
+// ----- Analyzer ----------------------------------------------------------------
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.RegisterOrReplace(datagen::GenerateRecipes(50, 1));
+  }
+  Result<AnalyzedQuery> Analyze(const std::string& text) {
+    return ParseAndAnalyze(text, catalog_);
+  }
+  db::Catalog catalog_;
+};
+
+TEST_F(AnalyzerTest, UnknownTableFails) {
+  EXPECT_EQ(Analyze("SELECT PACKAGE(X) FROM Nope X").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, UnknownColumnInWhereFails) {
+  EXPECT_FALSE(
+      Analyze("SELECT PACKAGE(R) FROM recipes R WHERE R.nope = 1").ok());
+}
+
+TEST_F(AnalyzerTest, UnknownColumnInAggregateFails) {
+  EXPECT_FALSE(
+      Analyze("SELECT PACKAGE(R) FROM recipes R SUCH THAT SUM(nope) > 0")
+          .ok());
+}
+
+TEST_F(AnalyzerTest, LinearExtractionMergesDuplicateAggregates) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R "
+      "SUCH THAT SUM(calories) <= 100 AND SUM(calories) >= 10 "
+      "MAXIMIZE SUM(calories)");
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  // One canonical SUM(calories) aggregate.
+  EXPECT_EQ(aq->aggs.size(), 1u);
+  EXPECT_EQ(aq->linear_constraints.size(), 2u);
+  EXPECT_TRUE(aq->ilp_translatable);
+}
+
+TEST_F(AnalyzerTest, ArithmeticCombinationStaysLinear) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R "
+      "SUCH THAT 2 * SUM(protein) - SUM(fat) / 2 + 5 <= 100");
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  EXPECT_TRUE(aq->ilp_translatable) << aq->not_translatable_reason;
+  ASSERT_EQ(aq->linear_constraints.size(), 1u);
+  const LinearConstraint& lc = aq->linear_constraints[0];
+  // 2*SUM(protein) - 0.5*SUM(fat) <= 95.
+  ASSERT_EQ(lc.terms.size(), 2u);
+  EXPECT_DOUBLE_EQ(lc.hi, 95.0);
+}
+
+TEST_F(AnalyzerTest, ProductOfAggregatesNotLinear) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R "
+      "SUCH THAT SUM(protein) * SUM(fat) <= 100");
+  ASSERT_TRUE(aq.ok());
+  EXPECT_FALSE(aq->ilp_translatable);
+  EXPECT_NE(aq->not_translatable_reason.find("not linear"),
+            std::string::npos);
+}
+
+TEST_F(AnalyzerTest, OrIsDisjunctive) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R "
+      "SUCH THAT COUNT(*) = 2 OR COUNT(*) = 4");
+  ASSERT_TRUE(aq.ok());
+  EXPECT_FALSE(aq->ilp_translatable);
+}
+
+TEST_F(AnalyzerTest, NotEqualIsDisjunctive) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT COUNT(*) <> 3");
+  ASSERT_TRUE(aq.ok());
+  EXPECT_FALSE(aq->ilp_translatable);
+}
+
+TEST_F(AnalyzerTest, AvgRewritesToSumMinusCount) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT AVG(calories) <= 500");
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  EXPECT_TRUE(aq->ilp_translatable) << aq->not_translatable_reason;
+  EXPECT_TRUE(aq->requires_nonempty);
+  // The rewritten row references SUM(calories) and COUNT(*).
+  ASSERT_EQ(aq->linear_constraints.size(), 1u);
+  EXPECT_EQ(aq->linear_constraints[0].terms.size(), 2u);
+}
+
+TEST_F(AnalyzerTest, AvgBetweenMakesTwoRows) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R "
+      "SUCH THAT AVG(calories) BETWEEN 300 AND 600");
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  EXPECT_TRUE(aq->ilp_translatable) << aq->not_translatable_reason;
+  EXPECT_EQ(aq->linear_constraints.size(), 2u);
+}
+
+TEST_F(AnalyzerTest, AvgMixedWithSumNotLinear) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R "
+      "SUCH THAT AVG(calories) + SUM(fat) <= 100");
+  ASSERT_TRUE(aq.ok());
+  EXPECT_FALSE(aq->ilp_translatable);
+}
+
+TEST_F(AnalyzerTest, MinMaxBecomeExtremeConstraints) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R "
+      "SUCH THAT MIN(rating) >= 3 AND MAX(calories) <= 800");
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  EXPECT_TRUE(aq->ilp_translatable) << aq->not_translatable_reason;
+  EXPECT_EQ(aq->extreme_constraints.size(), 2u);
+  EXPECT_TRUE(aq->requires_nonempty);
+}
+
+TEST_F(AnalyzerTest, FlippedComparisonNormalizes) {
+  // "800 >= MAX(calories)" == "MAX(calories) <= 800".
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT 800 >= MAX(calories)");
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  ASSERT_EQ(aq->extreme_constraints.size(), 1u);
+  EXPECT_EQ(aq->extreme_constraints[0].op, db::BinaryOp::kLe);
+  EXPECT_DOUBLE_EQ(aq->extreme_constraints[0].bound, 800.0);
+}
+
+TEST_F(AnalyzerTest, MinInsideArithmeticNotLinear) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT MIN(rating) + 1 >= 3");
+  ASSERT_TRUE(aq.ok());
+  EXPECT_FALSE(aq->ilp_translatable);
+}
+
+TEST_F(AnalyzerTest, StrictInequalitiesBecomeNudgedBounds) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT COUNT(*) > 2");
+  ASSERT_TRUE(aq.ok());
+  ASSERT_EQ(aq->linear_constraints.size(), 1u);
+  EXPECT_GT(aq->linear_constraints[0].lo, 2.0);
+  EXPECT_LT(aq->linear_constraints[0].lo, 2.1);
+}
+
+TEST_F(AnalyzerTest, AvgObjectiveIsNotLinear) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT COUNT(*) = 3 "
+      "MAXIMIZE AVG(protein)");
+  ASSERT_TRUE(aq.ok());
+  EXPECT_TRUE(aq->has_objective);
+  EXPECT_FALSE(aq->objective_linear);
+}
+
+TEST_F(AnalyzerTest, CountExprAggregates) {
+  auto aq = Analyze(
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT COUNT(calories) >= 2");
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  EXPECT_TRUE(aq->ilp_translatable);
+  ASSERT_EQ(aq->aggs.size(), 1u);
+  EXPECT_EQ(aq->aggs[0].func, db::AggFunc::kCount);
+  EXPECT_NE(aq->aggs[0].arg, nullptr);
+}
+
+TEST_F(AnalyzerTest, RepeatSetsMaxMultiplicity) {
+  auto aq = Analyze("SELECT PACKAGE(R) FROM recipes R REPEAT 4");
+  ASSERT_TRUE(aq.ok());
+  EXPECT_EQ(aq->max_multiplicity, 4);
+}
+
+}  // namespace
+}  // namespace pb::paql

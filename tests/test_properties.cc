@@ -1,0 +1,288 @@
+// Property-based tests (parameterized over seeds): cross-strategy agreement
+// and engine invariants on randomized workloads + randomized queries.
+//
+// These are the repository's strongest correctness evidence: brute force is
+// an independent oracle with different code paths from the analyzer ->
+// translator -> simplex -> branch-and-bound pipeline, so agreement across
+// dozens of seeds exercises the full stack.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "core/evaluator.h"
+#include "core/local_search.h"
+#include "core/pruning.h"
+#include "core/sketch_refine.h"
+#include "core/translator.h"
+#include "datagen/recipes.h"
+#include "db/catalog.h"
+#include "paql/analyzer.h"
+#include "paql/parser.h"
+
+namespace pb::core {
+namespace {
+
+/// Builds a randomized-but-satisfiable query family over the recipes table:
+/// the constraint windows are sampled around the aggregates of a random
+/// reference subset, so roughly half the queries are feasible by
+/// construction and the rest are near-misses.
+std::string RandomQuery(Rng& rng, const db::Table& recipes) {
+  size_t n = recipes.num_rows();
+  int64_t count = rng.UniformInt(2, 4);
+  // Reference subset -> a realistic calories window.
+  double ref_sum = 0;
+  auto cal = *recipes.schema().IndexOf("calories");
+  for (int64_t i = 0; i < count; ++i) {
+    ref_sum += *recipes.at(rng.Index(n), cal).ToDouble();
+  }
+  double lo = ref_sum * rng.UniformReal(0.7, 1.0);
+  double hi = lo + ref_sum * rng.UniformReal(0.0, 0.4);
+  std::string q =
+      "SELECT PACKAGE(R) FROM recipes R ";
+  if (rng.Bernoulli(0.4)) q += "WHERE gluten = 'free' ";
+  q += "SUCH THAT COUNT(*) = " + std::to_string(count) +
+       " AND SUM(calories) BETWEEN " + std::to_string(lo) + " AND " +
+       std::to_string(hi);
+  if (rng.Bernoulli(0.5)) {
+    q += " MAXIMIZE SUM(protein)";
+  } else if (rng.Bernoulli(0.5)) {
+    q += " MINIMIZE SUM(cost)";
+  }
+  return q;
+}
+
+class CrossStrategyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossStrategyProperty, IlpAgreesWithBruteForceOracle) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+  db::Catalog catalog;
+  catalog.RegisterOrReplace(
+      datagen::GenerateRecipes(14, static_cast<uint64_t>(seed)));
+  const db::Table& recipes = **catalog.Get("recipes");
+
+  for (int trial = 0; trial < 4; ++trial) {
+    std::string text = RandomQuery(rng, recipes);
+    auto aq = paql::ParseAndAnalyze(text, catalog);
+    ASSERT_TRUE(aq.ok()) << aq.status().ToString() << "\n" << text;
+
+    QueryEvaluator ev(&catalog);
+    EvaluationOptions ilp;
+    ilp.strategy = Strategy::kIlpSolver;
+    auto r_ilp = ev.Evaluate(*aq, ilp);
+
+    BruteForceResult bf = *BruteForceSearch(*aq);
+    ASSERT_TRUE(bf.exhausted) << "oracle must be exhaustive";
+
+    if (!bf.found) {
+      EXPECT_FALSE(r_ilp.ok()) << "ILP found a package the oracle says "
+                                  "cannot exist:\n"
+                               << text;
+      if (!r_ilp.ok()) {
+        EXPECT_EQ(r_ilp.status().code(), StatusCode::kInfeasible) << text;
+      }
+      continue;
+    }
+    ASSERT_TRUE(r_ilp.ok()) << r_ilp.status().ToString() << "\n" << text;
+    EXPECT_TRUE(*IsValidPackage(*aq, r_ilp->package)) << text;
+    if (aq->has_objective) {
+      EXPECT_NEAR(r_ilp->objective, bf.best_objective,
+                  1e-6 * (1 + std::abs(bf.best_objective)))
+          << text;
+    }
+  }
+}
+
+TEST_P(CrossStrategyProperty, LocalSearchResultsAlwaysValid) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 104729 + 7);
+  db::Catalog catalog;
+  catalog.RegisterOrReplace(
+      datagen::GenerateRecipes(40, static_cast<uint64_t>(seed) + 1000));
+  const db::Table& recipes = **catalog.Get("recipes");
+
+  for (int trial = 0; trial < 3; ++trial) {
+    std::string text = RandomQuery(rng, recipes);
+    auto aq = paql::ParseAndAnalyze(text, catalog);
+    ASSERT_TRUE(aq.ok()) << text;
+    LocalSearchOptions opts;
+    opts.seed = static_cast<uint64_t>(seed) * 31 + trial;
+    opts.time_limit_s = 2.0;
+    auto r = LocalSearch(*aq, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (r->found) {
+      EXPECT_TRUE(*IsValidPackage(*aq, r->package))
+          << "local search returned an invalid package for\n"
+          << text;
+    }
+  }
+}
+
+TEST_P(CrossStrategyProperty, PruningBoundsNeverCutValidPackages) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 65537 + 3);
+  db::Catalog catalog;
+  catalog.RegisterOrReplace(
+      datagen::GenerateRecipes(12, static_cast<uint64_t>(seed) + 2000));
+  const db::Table& recipes = **catalog.Get("recipes");
+
+  for (int trial = 0; trial < 3; ++trial) {
+    std::string text = RandomQuery(rng, recipes);
+    auto aq = paql::ParseAndAnalyze(text, catalog);
+    ASSERT_TRUE(aq.ok()) << text;
+    auto candidates = db::FilterIndices(*aq->table, aq->query.where);
+    ASSERT_TRUE(candidates.ok());
+    auto bounds = DeriveCardinalityBounds(*aq, *candidates);
+    ASSERT_TRUE(bounds.ok());
+
+    // Enumerate ALL valid packages without pruning; each must fall inside
+    // the derived cardinality bounds (completeness of §4.1).
+    BruteForceOptions opts;
+    opts.use_cardinality_pruning = false;
+    opts.use_linear_bounding = false;
+    opts.collect_limit = 100000;
+    auto all = BruteForceSearch(*aq, opts);
+    ASSERT_TRUE(all.ok());
+    if (bounds->infeasible) {
+      EXPECT_TRUE(all->all.empty())
+          << "pruning declared infeasible but a package exists:\n"
+          << text;
+      continue;
+    }
+    for (const Package& p : all->all) {
+      EXPECT_GE(p.TotalCount(), bounds->lo) << text;
+      EXPECT_LE(p.TotalCount(), bounds->hi) << text;
+    }
+  }
+}
+
+TEST_P(CrossStrategyProperty, LpRelaxationBoundsMilpObjective) {
+  const int seed = GetParam();
+  db::Catalog catalog;
+  catalog.RegisterOrReplace(
+      datagen::GenerateRecipes(30, static_cast<uint64_t>(seed) + 3000));
+  Rng rng(static_cast<uint64_t>(seed));
+  const db::Table& recipes = **catalog.Get("recipes");
+  std::string text = RandomQuery(rng, recipes);
+  if (text.find("MAXIMIZE") == std::string::npos &&
+      text.find("MINIMIZE") == std::string::npos) {
+    text += " MAXIMIZE SUM(protein)";
+  }
+  auto aq = paql::ParseAndAnalyze(text, catalog);
+  ASSERT_TRUE(aq.ok()) << text;
+  auto translation = TranslateToIlp(*aq);
+  ASSERT_TRUE(translation.ok());
+  auto lp = solver::SolveLp(translation->model);
+  auto milp = solver::SolveMilp(translation->model);
+  ASSERT_TRUE(lp.ok());
+  ASSERT_TRUE(milp.ok());
+  if (milp->status == solver::MilpStatus::kOptimal) {
+    ASSERT_EQ(lp->status, solver::LpStatus::kOptimal);
+    // The relaxation bounds the integer optimum from the optimization
+    // direction: above for MAXIMIZE, below for MINIMIZE.
+    if (translation->model.sense() == solver::ObjectiveSense::kMaximize) {
+      EXPECT_GE(lp->objective, milp->objective - 1e-6) << text;
+    } else {
+      EXPECT_LE(lp->objective, milp->objective + 1e-6) << text;
+    }
+  }
+}
+
+TEST_P(CrossStrategyProperty, SketchRefinePackagesAlwaysValid) {
+  const int seed = GetParam();
+  db::Catalog catalog;
+  catalog.RegisterOrReplace(
+      datagen::GenerateRecipes(250, static_cast<uint64_t>(seed) + 4000));
+  Rng rng(static_cast<uint64_t>(seed) * 17);
+  const db::Table& recipes = **catalog.Get("recipes");
+  std::string text = RandomQuery(rng, recipes);
+  auto aq = paql::ParseAndAnalyze(text, catalog);
+  ASSERT_TRUE(aq.ok()) << text;
+  SketchRefineOptions opts;
+  opts.partition_size = 32;
+  auto r = SketchRefine(*aq, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  if (r->found) {
+    EXPECT_TRUE(*IsValidPackage(*aq, r->package)) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossStrategyProperty,
+                         ::testing::Range(0, 24));
+
+// ----- Parser round-trip property --------------------------------------------------
+
+class ParserRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserRoundTripProperty, ToPaqlReparsesToSameText) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 1);
+  // Assemble a random query from grammar fragments.
+  std::vector<std::string> wheres = {
+      "", "WHERE gluten = 'free'",
+      "WHERE calories < 800 AND protein >= 10",
+      "WHERE name LIKE 'a%' OR cuisine IN ('thai', 'greek')",
+      "WHERE cost NOT BETWEEN 5 AND 10",
+      "WHERE sodium IS NOT NULL"};
+  std::vector<std::string> suches = {
+      "",
+      "SUCH THAT COUNT(*) = 3",
+      "SUCH THAT SUM(calories) BETWEEN 100 AND 200",
+      "SUCH THAT COUNT(*) >= 1 AND AVG(protein) <= 30",
+      "SUCH THAT NOT (COUNT(*) = 0) AND MIN(rating) >= 2",
+      "SUCH THAT 2 * SUM(fat) - SUM(sugar) / 4 <= 100",
+      "SUCH THAT COUNT(*) = 2 OR SUM(cost) > 50"};
+  std::vector<std::string> objectives = {
+      "", "MAXIMIZE SUM(protein)", "MINIMIZE SUM(cost)",
+      "MAXIMIZE SUM(protein) - 2 * SUM(fat)"};
+  std::vector<std::string> repeats = {"", "REPEAT 2", "REPEAT 5"};
+  std::string text = "SELECT PACKAGE(R) AS P FROM recipes R " +
+                     repeats[rng.Index(repeats.size())] + " " +
+                     wheres[rng.Index(wheres.size())] + " " +
+                     suches[rng.Index(suches.size())] + " " +
+                     objectives[rng.Index(objectives.size())];
+  auto q = paql::Parse(text);
+  ASSERT_TRUE(q.ok()) << q.status().ToString() << "\n" << text;
+  auto q2 = paql::Parse(q->ToPaql());
+  ASSERT_TRUE(q2.ok()) << "re-parse failed for\n" << q->ToPaql();
+  EXPECT_EQ(q2->ToPaql(), q->ToPaql());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripProperty,
+                         ::testing::Range(0, 32));
+
+// ----- REPEAT-multiplicity property -------------------------------------------------
+
+class RepeatProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepeatProperty, IlpAgreesWithBruteForceUnderRepeat) {
+  const int k = GetParam();
+  db::Catalog catalog;
+  catalog.RegisterOrReplace(datagen::GenerateRecipes(8, 77));
+  std::string text =
+      "SELECT PACKAGE(R) FROM recipes R REPEAT " + std::to_string(k) +
+      " SUCH THAT COUNT(*) = " + std::to_string(2 * k) +
+      " AND SUM(calories) <= " + std::to_string(1200 * k) +
+      " MAXIMIZE SUM(protein)";
+  auto aq = paql::ParseAndAnalyze(text, catalog);
+  ASSERT_TRUE(aq.ok()) << text;
+  QueryEvaluator ev(&catalog);
+  EvaluationOptions ilp;
+  ilp.strategy = Strategy::kIlpSolver;
+  auto r_ilp = ev.Evaluate(*aq, ilp);
+  auto bf = BruteForceSearch(*aq);
+  ASSERT_TRUE(bf.ok());
+  ASSERT_TRUE(bf->exhausted);
+  ASSERT_EQ(r_ilp.ok(), bf->found) << text;
+  if (bf->found) {
+    EXPECT_NEAR(r_ilp->objective, bf->best_objective, 1e-6) << text;
+    for (int64_t m : r_ilp->package.multiplicity) EXPECT_LE(m, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RepeatK, RepeatProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace pb::core

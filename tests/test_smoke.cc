@@ -1,0 +1,104 @@
+// End-to-end smoke tests: the paper's running example (the athlete's meal
+// plan, §2) through every evaluation strategy.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "datagen/recipes.h"
+#include "db/catalog.h"
+#include "paql/analyzer.h"
+
+namespace pb {
+namespace {
+
+// The §2 query verbatim (modulo typographic quotes).
+constexpr const char* kMealQuery = R"(
+    SELECT PACKAGE(R) AS P
+    FROM Recipes R
+    WHERE R.gluten = 'free'
+    SUCH THAT COUNT(*) = 3 AND
+              SUM(P.calories) BETWEEN 2000 AND 2500
+    MAXIMIZE SUM(P.protein)
+)";
+
+class SmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.RegisterOrReplace(datagen::GenerateRecipes(120, /*seed=*/7));
+  }
+  db::Catalog catalog_;
+};
+
+TEST_F(SmokeTest, MealQueryParsesAndAnalyzes) {
+  auto aq = paql::ParseAndAnalyze(kMealQuery, catalog_);
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  EXPECT_TRUE(aq->ilp_translatable) << aq->not_translatable_reason;
+  EXPECT_TRUE(aq->has_objective);
+  EXPECT_TRUE(aq->objective_linear);
+  EXPECT_EQ(aq->max_multiplicity, 1);
+  // COUNT(*) = 3 and the calories BETWEEN make two linear constraints.
+  EXPECT_EQ(aq->linear_constraints.size(), 2u);
+}
+
+TEST_F(SmokeTest, IlpSolverFindsValidOptimalPackage) {
+  auto aq = paql::ParseAndAnalyze(kMealQuery, catalog_);
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  core::QueryEvaluator evaluator(&catalog_);
+  core::EvaluationOptions opts;
+  opts.strategy = core::Strategy::kIlpSolver;
+  auto r = evaluator.Evaluate(*aq, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->proven_optimal);
+  EXPECT_EQ(r->package.TotalCount(), 3);
+  auto valid = core::IsValidPackage(*aq, r->package);
+  ASSERT_TRUE(valid.ok()) << valid.status().ToString();
+  EXPECT_TRUE(*valid);
+}
+
+TEST_F(SmokeTest, StrategiesAgreeOnOptimalObjective) {
+  // Small input so brute force is exhaustive quickly.
+  db::Catalog small;
+  small.RegisterOrReplace(datagen::GenerateRecipes(18, /*seed=*/3));
+  auto aq = paql::ParseAndAnalyze(kMealQuery, small);
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  core::QueryEvaluator evaluator(&small);
+
+  core::EvaluationOptions ilp;
+  ilp.strategy = core::Strategy::kIlpSolver;
+  auto r_ilp = evaluator.Evaluate(*aq, ilp);
+
+  core::EvaluationOptions bf;
+  bf.strategy = core::Strategy::kBruteForce;
+  auto r_bf = evaluator.Evaluate(*aq, bf);
+
+  // Either both find the optimum or both prove infeasibility.
+  ASSERT_EQ(r_ilp.ok(), r_bf.ok())
+      << "ilp: " << r_ilp.status().ToString()
+      << " bf: " << r_bf.status().ToString();
+  if (r_ilp.ok()) {
+    EXPECT_NEAR(r_ilp->objective, r_bf->objective, 1e-6);
+  }
+}
+
+TEST_F(SmokeTest, LocalSearchFindsValidPackage) {
+  auto aq = paql::ParseAndAnalyze(kMealQuery, catalog_);
+  ASSERT_TRUE(aq.ok()) << aq.status().ToString();
+  core::QueryEvaluator evaluator(&catalog_);
+  core::EvaluationOptions opts;
+  opts.strategy = core::Strategy::kLocalSearch;
+  auto r = evaluator.Evaluate(*aq, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto valid = core::IsValidPackage(*aq, r->package);
+  ASSERT_TRUE(valid.ok()) << valid.status().ToString();
+  EXPECT_TRUE(*valid);
+}
+
+TEST_F(SmokeTest, AutoStrategyWorks) {
+  core::QueryEvaluator evaluator(&catalog_);
+  auto r = evaluator.Evaluate(kMealQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->package.TotalCount(), 3);
+}
+
+}  // namespace
+}  // namespace pb
