@@ -1,0 +1,54 @@
+// Fixed-size worker pool for fan-out of independent CPU-bound work (the
+// SketchRefine Refine phase solves one small ILP per partition group).
+//
+// Deliberately minimal: Submit() enqueues a task, Wait() blocks until every
+// submitted task has finished. Tasks must not throw (no exceptions cross
+// API boundaries in this codebase); report failures through captured state.
+
+#ifndef PB_COMMON_THREAD_POOL_H_
+#define PB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pb {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool stop_ = false;
+};
+
+}  // namespace pb
+
+#endif  // PB_COMMON_THREAD_POOL_H_

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/pruning.h"
 #include "db/ops.h"
 
@@ -233,60 +234,180 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       }
     }
 
-    // Refine groups in decreasing sketch-multiplicity order.
+    // Refine groups in decreasing sketch-multiplicity order (stable sort:
+    // the order, and therefore the result, is fully deterministic).
     phase_timer.Restart();
     std::vector<size_t> refine_order;
     for (size_t g = 0; g < groups.size(); ++g) {
       if (group_mult[g] > 0) refine_order.push_back(g);
     }
-    std::sort(refine_order.begin(), refine_order.end(),
-              [&](size_t a, size_t b) { return group_mult[a] > group_mult[b]; });
+    std::stable_sort(
+        refine_order.begin(), refine_order.end(),
+        [&](size_t a, size_t b) { return group_mult[a] > group_mult[b]; });
 
-    // Current per-candidate multiplicities: refined groups hold real
-    // tuples; unrefined groups approximate with their representative.
-    std::vector<int64_t> mult(n, 0);
-    for (size_t g : refine_order) mult[rep[g]] += group_mult[g];
-
-    bool failed_group = false;
-    size_t failed_g = 0;
-    for (size_t g : refine_order) {
-      // Remove this group's current (representative) contribution.
-      mult[rep[g]] -= group_mult[g];
-
-      // Residual bounds: what the group must deliver given everyone else.
+    // Residual sub-ILP for group g: what its members must deliver given the
+    // per-row contribution `others` of everyone else. Variable k is the
+    // k-th member of the group (indices are dense).
+    auto build_sub = [&](size_t g, const std::vector<double>& others) {
       solver::LpModel sub;
       sub.SetSense(sense);
-      std::vector<int> var_of_member(groups[g].size(), -1);
       for (size_t k = 0; k < groups[g].size(); ++k) {
-        var_of_member[k] = sub.AddVariable(
-            "m" + std::to_string(k), 0.0,
-            static_cast<double>(aq.max_multiplicity), obj_w[groups[g][k]],
-            /*is_integer=*/true);
+        sub.AddVariable("m" + std::to_string(k), 0.0,
+                        static_cast<double>(aq.max_multiplicity),
+                        obj_w[groups[g][k]], /*is_integer=*/true);
       }
-      for (const Row& row : rows) {
-        double others = 0.0;
-        for (size_t i = 0; i < n; ++i) others += row.w[i] * mult[i];
+      for (size_t r = 0; r < rows.size(); ++r) {
+        const Row& row = rows[r];
         std::vector<solver::LinearTerm> terms;
         for (size_t k = 0; k < groups[g].size(); ++k) {
           if (row.w[groups[g][k]] != 0.0) {
-            terms.push_back({var_of_member[k], row.w[groups[g][k]]});
+            terms.push_back({static_cast<int>(k), row.w[groups[g][k]]});
           }
         }
         sub.AddConstraint(row.name, std::move(terms),
-                          row.lo == -kInf ? -kInf : row.lo - others,
-                          row.hi == kInf ? kInf : row.hi - others);
+                          row.lo == -kInf ? -kInf : row.lo - others[r],
+                          row.hi == kInf ? kInf : row.hi - others[r]);
       }
-      ++out.refine_ilps_solved;
-      PB_ASSIGN_OR_RETURN(solver::MilpResult sr,
-                          solver::SolveMilp(sub, options.milp));
-      if (!sr.has_solution()) {
-        failed_group = true;
-        failed_g = g;
+      return sub;
+    };
+    auto package_from = [&](const std::vector<int64_t>& m) {
+      Package p;
+      for (size_t i = 0; i < n; ++i) {
+        if (m[i] > 0) p.Add(candidates[i], m[i]);
+      }
+      return p;
+    };
+
+    // Independent pass: each group's residual is taken against the sketch
+    // state (every other group at its representative multiplicity), so the
+    // sub-ILPs share nothing and fan out across the pool. Models are built
+    // single-threaded in refine order; workers only solve.
+    struct RefineTask {
+      std::vector<double> others;  // per-row contribution of everyone else
+      solver::LpModel model;
+      solver::MilpResult solution;
+      Status status = Status::OK();
+    };
+    // Per-row activity of the whole sketch state; each task's residual is
+    // that minus the group's own representative contribution, O(rows) per
+    // group instead of a full O(rows * n) recompute.
+    std::vector<double> base(rows.size(), 0.0);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      for (size_t g : refine_order) {
+        base[r] += rows[r].w[rep[g]] * group_mult[g];
+      }
+    }
+    std::vector<RefineTask> tasks(refine_order.size());
+    for (size_t t = 0; t < refine_order.size(); ++t) {
+      size_t g = refine_order[t];
+      tasks[t].others.resize(rows.size());
+      for (size_t r = 0; r < rows.size(); ++r) {
+        tasks[t].others[r] =
+            base[r] - rows[r].w[rep[g]] * static_cast<double>(group_mult[g]);
+      }
+      tasks[t].model = build_sub(g, tasks[t].others);
+    }
+    out.refine_ilps_solved += static_cast<int64_t>(tasks.size());
+    auto solve_task = [&](RefineTask& task) {
+      Result<solver::MilpResult> sr =
+          solver::SolveMilp(task.model, options.milp);
+      if (sr.ok()) {
+        task.solution = std::move(sr).value();
+      } else {
+        task.status = sr.status();
+      }
+    };
+    size_t workers = std::min<size_t>(
+        static_cast<size_t>(std::max(options.num_threads, 1)), tasks.size());
+    if (workers <= 1) {
+      for (RefineTask& task : tasks) solve_task(task);
+    } else {
+      ThreadPool pool(workers);
+      for (RefineTask& task : tasks) {
+        pool.Submit([&solve_task, &task] { solve_task(task); });
+      }
+      pool.Wait();
+    }
+    for (const RefineTask& task : tasks) PB_RETURN_IF_ERROR(task.status);
+
+    // Deterministic merge in refine order. The merged package stands only
+    // if every group solved and the result validates.
+    bool all_solved = true;
+    for (const RefineTask& task : tasks) {
+      if (!task.solution.has_solution()) {
+        all_solved = false;
         break;
       }
-      for (size_t k = 0; k < groups[g].size(); ++k) {
-        mult[groups[g][k]] +=
-            static_cast<int64_t>(std::llround(sr.x[var_of_member[k]]));
+    }
+    Package pkg;
+    bool valid = false;
+    std::vector<int64_t> mult(n, 0);
+    if (all_solved) {
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        size_t g = refine_order[t];
+        for (size_t k = 0; k < groups[g].size(); ++k) {
+          mult[groups[g][k]] +=
+              static_cast<int64_t>(std::llround(tasks[t].solution.x[k]));
+        }
+      }
+      pkg = package_from(mult);
+      PB_ASSIGN_OR_RETURN(valid, IsValidPackage(aq, pkg));
+    }
+
+    bool failed_group = false;
+    size_t failed_g = 0;
+    if (!valid) {
+      // Repair: the independent solves let per-group drift accumulate
+      // (chosen members aggregate differently than their representative),
+      // and a group infeasible against the sketch residuals may still be
+      // feasible against the actual ones. Rebuild greedily, propagating
+      // actual residuals group by group as the 2016 paper's refine does; a
+      // parallel result (solution or proven infeasibility) is reused when
+      // its residuals match the actual state exactly — always true for the
+      // first group, and for every group while no drift has occurred. The
+      // pass depends only on the tasks' deterministic results, so any
+      // num_threads still yields an identical outcome. The actual residual
+      // is tracked as (base - own rep contribution) + drift so that a
+      // zero-drift prefix reproduces the task residuals bit-for-bit.
+      ++out.repair_passes;
+      mult.assign(n, 0);
+      for (size_t g : refine_order) mult[rep[g]] += group_mult[g];
+      std::vector<double> drift(rows.size(), 0.0);
+      for (size_t t = 0; t < refine_order.size(); ++t) {
+        size_t g = refine_order[t];
+        std::vector<double> others(rows.size());
+        for (size_t r = 0; r < rows.size(); ++r) {
+          others[r] = tasks[t].others[r] + drift[r];
+        }
+        const solver::MilpResult* sol = &tasks[t].solution;
+        solver::MilpResult fresh;
+        if (others != tasks[t].others) {
+          ++out.refine_ilps_solved;
+          PB_ASSIGN_OR_RETURN(
+              fresh, solver::SolveMilp(build_sub(g, others), options.milp));
+          sol = &fresh;
+        }
+        if (!sol->has_solution()) {
+          failed_group = true;
+          failed_g = g;
+          break;
+        }
+        mult[rep[g]] -= group_mult[g];
+        for (size_t r = 0; r < rows.size(); ++r) {
+          drift[r] -= rows[r].w[rep[g]] * static_cast<double>(group_mult[g]);
+        }
+        for (size_t k = 0; k < groups[g].size(); ++k) {
+          int64_t m = static_cast<int64_t>(std::llround(sol->x[k]));
+          if (m == 0) continue;
+          mult[groups[g][k]] += m;
+          for (size_t r = 0; r < rows.size(); ++r) {
+            drift[r] += rows[r].w[groups[g][k]] * static_cast<double>(m);
+          }
+        }
+      }
+      if (!failed_group) {
+        pkg = package_from(mult);
+        PB_ASSIGN_OR_RETURN(valid, IsValidPackage(aq, pkg));
       }
     }
     out.refine_seconds += phase_timer.ElapsedSeconds();
@@ -296,15 +417,9 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       ++out.backtracks;
       continue;
     }
-
-    Package pkg;
-    for (size_t i = 0; i < n; ++i) {
-      if (mult[i] > 0) pkg.Add(candidates[i], mult[i]);
-    }
-    PB_ASSIGN_OR_RETURN(bool valid, IsValidPackage(aq, pkg));
     if (!valid) {
-      // Should not happen (the last refinement enforces exact residuals);
-      // treat defensively as a failed attempt.
+      // Should not happen (the repair pass's last group enforces exact
+      // residuals); treat defensively as a failed attempt.
       ++out.backtracks;
       continue;
     }

@@ -11,11 +11,21 @@
 //   Sketch   Solve the package query over the representatives only, where
 //            a representative may repeat up to its group's size — an ILP
 //            with n/tau variables instead of n.
-//   Refine   Group by group, replace a representative's multiplicity m_g
-//            with real tuples from that group by solving a small ILP over
-//            the group's members with all other groups' contributions
-//            fixed; greedy with one level of backtracking (a failed group
-//            is excluded from the sketch and the process restarts).
+//   Refine   Replace each representative's multiplicity m_g with real
+//            tuples from its group by solving a small ILP over the group's
+//            members with all other groups pinned at their sketch
+//            (representative) contributions. Those sub-ILPs depend only on
+//            the sketch solution, so they run in parallel on a thread
+//            pool and merge in deterministic group order. If the merged
+//            package drifts out of feasibility (chosen members aggregate
+//            differently than their representative), a sequential repair
+//            pass rebuilds it greedily, propagating actual residuals group
+//            by group; backtracking excludes a group whose sub-ILP is
+//            infeasible and restarts from the sketch. Every pass is
+//            deterministic, so results are identical for any num_threads
+//            as long as the solver's stopping rule is (i.e. no sub-ILP
+//            hits MilpOptions::time_limit_s mid-search — prefer node
+//            budgets when exact reproducibility matters).
 //
 // The result is validated against the original query; approximation shows
 // up only in the objective value, which the E6 bench compares to Direct.
@@ -39,6 +49,12 @@ struct SketchRefineOptions {
   /// Backtracking budget: how many failed groups may be excluded from the
   /// sketch before giving up.
   int max_backtracks = 4;
+  /// Worker threads for the Refine phase's independent per-group ILPs.
+  /// The result is bit-identical for any value provided the solver stops
+  /// deterministically (a sub-ILP that hits `milp.time_limit_s` mid-search
+  /// can surface a different incumbent under CPU contention; use
+  /// `milp.max_nodes` as the budget when reproducibility matters).
+  int num_threads = 1;
   solver::MilpOptions milp;
 };
 
@@ -49,6 +65,9 @@ struct SketchRefineResult {
   size_t num_partitions = 0;
   size_t sketch_variables = 0;
   int backtracks = 0;
+  /// Sequential repair passes taken after a parallel refine drifted out of
+  /// feasibility (0 when the independent solves merged cleanly).
+  int repair_passes = 0;
   int64_t refine_ilps_solved = 0;
   double partition_seconds = 0.0;
   double sketch_seconds = 0.0;

@@ -1,6 +1,8 @@
 #include "paql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <unordered_set>
 
@@ -88,15 +90,36 @@ Result<std::vector<Token>> Lex(std::string_view input) {
           }
         }
       }
+      // Checked conversion (same discipline as csv.cc's ParseDouble /
+      // ParseInt): an unconsumed suffix or out-of-range value is a lex
+      // error rather than a silent inf / LLONG_MAX. Underflow (ERANGE
+      // with a tiny result, e.g. 1e-400) is accepted as the nearest
+      // representable value; only overflow to infinity is rejected.
       std::string num(input.substr(i, j - i));
+      char* end = nullptr;
       if (is_double) {
+        errno = 0;
+        double v = std::strtod(num.c_str(), &end);
+        bool overflow = errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL);
+        if (overflow || end != num.c_str() + num.size()) {
+          return Status::ParseError("numeric literal '" + num +
+                                    "' out of range at offset " +
+                                    std::to_string(start));
+        }
         Token t = make(TokenKind::kDoubleLiteral, start);
-        t.double_value = std::strtod(num.c_str(), nullptr);
+        t.double_value = v;
         t.text = num;
         tokens.push_back(std::move(t));
       } else {
+        errno = 0;
+        long long v = std::strtoll(num.c_str(), &end, 10);
+        if (errno != 0 || end != num.c_str() + num.size()) {
+          return Status::ParseError("integer literal '" + num +
+                                    "' out of range at offset " +
+                                    std::to_string(start));
+        }
         Token t = make(TokenKind::kIntLiteral, start);
-        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+        t.int_value = v;
         t.text = num;
         tokens.push_back(std::move(t));
       }

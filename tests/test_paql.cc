@@ -71,6 +71,36 @@ TEST(LexerTest, UnexpectedCharacterFails) {
   EXPECT_EQ(Lex("SELECT @").status().code(), StatusCode::kParseError);
 }
 
+TEST(LexerTest, OverflowingDoubleLiteralFails) {
+  // Would silently become inf with unchecked strtod.
+  EXPECT_EQ(Lex("1e999").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Lex("SUM(price) <= 1.5e400").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(LexerTest, OverflowingIntegerLiteralFails) {
+  // Would silently become LLONG_MAX with unchecked strtoll.
+  EXPECT_EQ(Lex("99999999999999999999").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(LexerTest, LargeButRepresentableLiteralsStillLex) {
+  auto toks = Lex("9223372036854775807 1e308");
+  ASSERT_TRUE(toks.ok()) << toks.status().ToString();
+  EXPECT_EQ((*toks)[0].int_value, 9223372036854775807LL);
+  EXPECT_DOUBLE_EQ((*toks)[1].double_value, 1e308);
+}
+
+TEST(LexerTest, UnderflowingDoubleLiteralRoundsTowardZero) {
+  // strtod reports ERANGE for underflow too; that is not an error — the
+  // literal just becomes the nearest representable value (possibly 0).
+  auto toks = Lex("1e-400");
+  ASSERT_TRUE(toks.ok()) << toks.status().ToString();
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kDoubleLiteral);
+  EXPECT_GE((*toks)[0].double_value, 0.0);
+  EXPECT_LT((*toks)[0].double_value, 1e-300);
+}
+
 // ----- Parser ----------------------------------------------------------------
 
 TEST(ParserTest, MinimalQuery) {

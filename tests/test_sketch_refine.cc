@@ -174,6 +174,40 @@ TEST_F(SketchRefineTest, PartitionSizeSweepStaysValid) {
   }
 }
 
+TEST_F(SketchRefineTest, ThreadCountDoesNotChangeResult) {
+  // The meal-plan workload: any num_threads must produce a bit-identical
+  // package and objective (parallel refine merges deterministically and the
+  // repair pass depends only on deterministic sub-solutions).
+  db::Catalog c;
+  c.RegisterOrReplace(datagen::GenerateRecipes(600, 41));
+  auto aq = Analyzed(c,
+                     "SELECT PACKAGE(R) FROM recipes R "
+                     "SUCH THAT COUNT(*) = 6 AND "
+                     "SUM(calories) BETWEEN 2400 AND 3600 AND "
+                     "SUM(fat) <= 180 "
+                     "MAXIMIZE SUM(protein)");
+  SketchRefineOptions seq;
+  seq.partition_size = 50;
+  seq.num_threads = 1;
+  auto r1 = SketchRefine(aq, seq);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r1->found);
+
+  SketchRefineOptions par = seq;
+  par.num_threads = 4;
+  auto r4 = SketchRefine(aq, par);
+  ASSERT_TRUE(r4.ok()) << r4.status().ToString();
+  ASSERT_TRUE(r4->found);
+
+  EXPECT_EQ(r1->package, r4->package)
+      << r1->package.Fingerprint() << " vs " << r4->package.Fingerprint();
+  EXPECT_EQ(r1->objective, r4->objective);
+  EXPECT_EQ(r1->backtracks, r4->backtracks);
+  EXPECT_EQ(r1->repair_passes, r4->repair_passes);
+  EXPECT_EQ(r1->refine_ilps_solved, r4->refine_ilps_solved);
+  EXPECT_TRUE(*IsValidPackage(aq, r4->package));
+}
+
 TEST_F(SketchRefineTest, RepeatQueriesSupported) {
   db::Catalog c;
   c.RegisterOrReplace(datagen::GenerateRecipes(200, 29));
