@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "core/brute_force.h"
 #include "core/pruning.h"
 #include "datagen/recipes.h"
@@ -52,6 +54,73 @@ void BM_DeriveBounds(benchmark::State& state) {
   state.counters["saved_bits"] = bounds.log2_unpruned - bounds.log2_pruned;
 }
 BENCHMARK(BM_DeriveBounds)->Arg(20)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Row-store vs columnar derivation of the per-tuple aggregate weights that
+/// feed the §4.1 bounds (the O(n) part of pruning). The row-store baseline
+/// evaluates each aggregate argument over pre-materialized tuples; the
+/// columnar case is ComputeAggWeights' contiguous-span path.
+void BM_BoundsWeights(benchmark::State& state) {
+  const bool columnar = state.range(0) != 0;
+  const size_t n = static_cast<size_t>(state.range(1));
+  pb::db::Catalog catalog;
+  catalog.RegisterOrReplace(pb::datagen::GenerateRecipes(n, 7));
+  auto aq = pb::paql::ParseAndAnalyze(kQuery, catalog);
+  if (!aq.ok()) {
+    state.SkipWithError(aq.status().ToString().c_str());
+    return;
+  }
+  auto candidates = pb::db::FilterIndices(*aq->table, aq->query.where);
+  if (!candidates.ok()) {
+    state.SkipWithError(candidates.status().ToString().c_str());
+    return;
+  }
+
+  if (columnar) {
+    for (auto _ : state) {
+      for (const auto& agg : aq->aggs) {
+        auto w = pb::core::ComputeAggWeights(agg, *aq->table, *candidates);
+        if (!w.ok()) {
+          state.SkipWithError(w.status().ToString().c_str());
+          return;
+        }
+        benchmark::DoNotOptimize(w->data());
+      }
+    }
+  } else {
+    std::vector<pb::db::Tuple> tuples;
+    tuples.reserve(aq->table->num_rows());
+    for (size_t i = 0; i < aq->table->num_rows(); ++i) {
+      tuples.push_back(aq->table->row(i));
+    }
+    for (auto _ : state) {
+      for (const auto& agg : aq->aggs) {
+        std::vector<double> w(candidates->size(), 1.0);
+        if (agg.arg) {
+          pb::db::ExprPtr bound = agg.arg->Clone();
+          if (!bound->Bind(aq->table->schema()).ok()) {
+            state.SkipWithError("bind failed");
+            return;
+          }
+          for (size_t i = 0; i < candidates->size(); ++i) {
+            auto v = bound->Eval(tuples[(*candidates)[i]]);
+            if (!v.ok()) {
+              state.SkipWithError(v.status().ToString().c_str());
+              return;
+            }
+            w[i] = v->is_null() ? 0.0 : *v->ToDouble();
+          }
+        }
+        benchmark::DoNotOptimize(w.data());
+      }
+    }
+  }
+  state.SetLabel(columnar ? "columnar" : "rowstore");
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_BoundsWeights)
+    ->Args({0, 1000})->Args({1, 1000})
+    ->Args({0, 10000})->Args({1, 10000})
+    ->Unit(benchmark::kMicrosecond);
 
 /// Ablation: exhaustive search node counts with / without the §4.1 bounds.
 void BM_BruteForceNodes(benchmark::State& state) {

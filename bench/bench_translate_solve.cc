@@ -9,12 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+
 #include "core/evaluator.h"
 #include "core/translator.h"
 #include "datagen/recipes.h"
 #include "datagen/stocks.h"
 #include "datagen/travel.h"
 #include "db/catalog.h"
+#include "db/ops.h"
 #include "paql/analyzer.h"
 #include "solver/milp.h"
 
@@ -55,6 +58,71 @@ const Scenario kScenarios[] = {
      "MAXIMIZE SUM(T.comfort)",
      &GenTravel},
 };
+
+// Row-store vs columnar ILP coefficient extraction. The row-store baseline
+// evaluates the aggregate argument per pre-materialized tuple — exactly the
+// per-cell variant dispatch the old std::vector<Tuple> storage paid. The
+// columnar case gathers the same coefficients from the contiguous column
+// span (db::GatherNumeric's fast path). Same expression, same candidates,
+// same output vector; the delta is pure storage-layout win.
+void BM_CoefficientExtraction(benchmark::State& state) {
+  const bool columnar = state.range(0) != 0;
+  const size_t n = static_cast<size_t>(state.range(1));
+  pb::db::Table table = pb::datagen::GenerateRecipes(n, 5);
+  std::vector<size_t> candidates(n);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  pb::db::ExprPtr arg = pb::db::Col("calories");
+
+  if (columnar) {
+    // Bind once outside the timing loop, exactly like the rowstore
+    // baseline: both sides time only the per-candidate extraction.
+    pb::db::ExprPtr bound = arg->Clone();
+    if (!bound->Bind(table.schema()).ok()) {
+      state.SkipWithError("bind failed");
+      return;
+    }
+    for (auto _ : state) {
+      auto vals = pb::db::GatherNumericBound(table, *bound, candidates);
+      if (!vals.ok()) {
+        state.SkipWithError(vals.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(vals->data());
+    }
+  } else {
+    // Simulated row-store: tuples materialized once, outside the timing
+    // loop, then coefficients extracted cell by cell.
+    std::vector<pb::db::Tuple> tuples;
+    tuples.reserve(n);
+    for (size_t i = 0; i < n; ++i) tuples.push_back(table.row(i));
+    pb::db::ExprPtr bound = arg->Clone();
+    if (!bound->Bind(table.schema()).ok()) {
+      state.SkipWithError("bind failed");
+      return;
+    }
+    for (auto _ : state) {
+      std::vector<std::optional<double>> vals(n);
+      for (size_t i = 0; i < n; ++i) {
+        auto v = bound->Eval(tuples[candidates[i]]);
+        if (!v.ok()) {
+          state.SkipWithError(v.status().ToString().c_str());
+          return;
+        }
+        if (!v->is_null()) vals[i] = *v->ToDouble();
+      }
+      benchmark::DoNotOptimize(vals.data());
+    }
+  }
+  state.SetLabel(columnar ? "columnar" : "rowstore");
+  state.counters["n"] = static_cast<double>(n);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CoefficientExtraction)
+    ->Args({0, 1000})->Args({1, 1000})
+    ->Args({0, 10000})->Args({1, 10000})
+    ->Args({0, 100000})->Args({1, 100000})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_ParseAnalyze(benchmark::State& state) {
   const Scenario& s = kScenarios[state.range(0)];

@@ -237,7 +237,7 @@ db::Table MaterializePackage(const db::Table& table, const Package& pkg,
   db::Table out(name, table.schema());
   for (size_t i = 0; i < pkg.rows.size(); ++i) {
     for (int64_t m = 0; m < pkg.multiplicity[i]; ++m) {
-      out.AppendUnchecked(table.row(pkg.rows[i]));
+      out.AppendRowFrom(table, pkg.rows[i]);
     }
   }
   return out;

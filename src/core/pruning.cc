@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/math.h"
+#include "db/ops.h"
 
 namespace pb::core {
 
@@ -30,27 +31,45 @@ Result<std::vector<double>> ComputeAggWeights(
   if (!agg.arg) {
     return Status::InvalidArgument("aggregate requires an argument");
   }
+  if (agg.func != db::AggFunc::kCount && agg.func != db::AggFunc::kSum) {
+    return Status::InvalidArgument(
+        std::string(db::AggFuncToString(agg.func)) +
+        " has no per-tuple linear weight");
+  }
   db::ExprPtr bound = agg.arg->Clone();
   PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
-  for (size_t i = 0; i < rows.size(); ++i) {
-    PB_ASSIGN_OR_RETURN(db::Value v, bound->Eval(table.row(rows[i])));
-    switch (agg.func) {
-      case db::AggFunc::kCount:
-        w[i] = v.is_null() ? 0.0 : 1.0;
-        break;
-      case db::AggFunc::kSum: {
-        if (v.is_null()) {
-          w[i] = 0.0;
-        } else {
-          PB_ASSIGN_OR_RETURN(w[i], v.ToDouble());
+  if (agg.func == db::AggFunc::kCount) {
+    // COUNT(col) only needs the null mask: weight 1 where non-null.
+    if (bound->kind == db::ExprKind::kColumnRef && bound->column_index >= 0 &&
+        static_cast<size_t>(bound->column_index) <
+            table.schema().num_columns()) {
+      const db::Column& col = table.column_data(bound->column_index);
+      if (col.storage_type() != db::ValueType::kNull) {
+        const db::NullBitmap& nulls = col.nulls();
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (rows[i] >= col.size()) {
+            return Status::OutOfRange("row index out of range");
+          }
+          w[i] = nulls.Test(rows[i]) ? 0.0 : 1.0;
         }
-        break;
+        return w;
       }
-      default:
-        return Status::InvalidArgument(
-            std::string(db::AggFuncToString(agg.func)) +
-            " has no per-tuple linear weight");
     }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i] >= table.num_rows()) {
+        return Status::OutOfRange("row index out of range");
+      }
+      PB_ASSIGN_OR_RETURN(db::Value v, bound->Eval(table, rows[i]));
+      w[i] = v.is_null() ? 0.0 : 1.0;
+    }
+    return w;
+  }
+  // SUM: one contiguous-span gather when the argument is a bare numeric
+  // column, per-row expression evaluation otherwise. NULL contributes 0.
+  PB_ASSIGN_OR_RETURN(std::vector<std::optional<double>> vals,
+                      db::GatherNumericBound(table, *bound, rows));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    w[i] = vals[i].value_or(0.0);
   }
   return w;
 }
@@ -77,6 +96,14 @@ Result<CardinalityBounds> DeriveCardinalityBounds(
     double wmin = kInf, wmax = -kInf;
     if (n == 0) {
       wmin = wmax = 0.0;
+    } else if (lc.terms.size() == 1) {
+      // Single-aggregate constraint (the common case): min/max over the
+      // contiguous weight span, scaled by the coefficient.
+      const paql::LinearAggTerm& t = lc.terms[0];
+      const std::vector<double>& w = weights[t.agg_index];
+      auto [mn, mx] = std::minmax_element(w.begin(), w.end());
+      wmin = std::min(t.coeff * *mn, t.coeff * *mx);
+      wmax = std::max(t.coeff * *mn, t.coeff * *mx);
     } else {
       for (int64_t i = 0; i < n; ++i) {
         double w = 0.0;

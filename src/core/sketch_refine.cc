@@ -26,7 +26,10 @@ struct Row {
 };
 
 /// Recursive median split over one index range [begin, end) of `order`.
-void SplitRange(const std::vector<std::vector<double>>& features,
+/// `feature_cols` is column-major: feature_cols[d][i] is dimension d of
+/// candidate i, so each spread scan and the split comparator walk one
+/// contiguous span.
+void SplitRange(const std::vector<std::vector<double>>& feature_cols,
                 std::vector<size_t>& order, size_t begin, size_t end,
                 size_t partition_size,
                 std::vector<std::vector<size_t>>* groups) {
@@ -36,13 +39,14 @@ void SplitRange(const std::vector<std::vector<double>>& features,
     return;
   }
   // Pick the dimension with the largest spread inside this range.
-  size_t dims = features.empty() ? 0 : features[0].size();
+  size_t dims = feature_cols.size();
   size_t best_dim = 0;
   double best_spread = -1.0;
   for (size_t d = 0; d < dims; ++d) {
+    const double* f = feature_cols[d].data();
     double mn = kInf, mx = -kInf;
     for (size_t i = begin; i < end; ++i) {
-      double v = features[order[i]][d];
+      double v = f[order[i]];
       mn = std::min(mn, v);
       mx = std::max(mx, v);
     }
@@ -54,29 +58,43 @@ void SplitRange(const std::vector<std::vector<double>>& features,
   size_t mid = begin + count / 2;
   if (best_spread <= 0.0 || dims == 0) {
     // All-identical features: split positionally.
-    SplitRange(features, order, begin, mid, partition_size, groups);
-    SplitRange(features, order, mid, end, partition_size, groups);
+    SplitRange(feature_cols, order, begin, mid, partition_size, groups);
+    SplitRange(feature_cols, order, mid, end, partition_size, groups);
     return;
   }
+  const double* f = feature_cols[best_dim].data();
   std::nth_element(order.begin() + begin, order.begin() + mid,
-                   order.begin() + end, [&](size_t a, size_t b) {
-                     return features[a][best_dim] < features[b][best_dim];
-                   });
-  SplitRange(features, order, begin, mid, partition_size, groups);
-  SplitRange(features, order, mid, end, partition_size, groups);
+                   order.begin() + end,
+                   [f](size_t a, size_t b) { return f[a] < f[b]; });
+  SplitRange(feature_cols, order, begin, mid, partition_size, groups);
+  SplitRange(feature_cols, order, mid, end, partition_size, groups);
 }
 
 }  // namespace
 
+std::vector<std::vector<size_t>> PartitionCandidatesColumnar(
+    const std::vector<std::vector<double>>& feature_cols, size_t n,
+    size_t partition_size) {
+  std::vector<std::vector<size_t>> groups;
+  if (n == 0) return groups;
+  partition_size = std::max<size_t>(partition_size, 1);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  SplitRange(feature_cols, order, 0, order.size(), partition_size, &groups);
+  return groups;
+}
+
 std::vector<std::vector<size_t>> PartitionCandidates(
     const std::vector<std::vector<double>>& features, size_t partition_size) {
-  std::vector<std::vector<size_t>> groups;
-  if (features.empty()) return groups;
-  partition_size = std::max<size_t>(partition_size, 1);
-  std::vector<size_t> order(features.size());
-  std::iota(order.begin(), order.end(), 0);
-  SplitRange(features, order, 0, order.size(), partition_size, &groups);
-  return groups;
+  if (features.empty()) return {};
+  // Transpose the row-major input; the engine itself builds column-major
+  // features directly and calls PartitionCandidatesColumnar.
+  size_t dims = features[0].size();
+  std::vector<std::vector<double>> cols(dims, std::vector<double>(features.size()));
+  for (size_t i = 0; i < features.size(); ++i) {
+    for (size_t d = 0; d < dims; ++d) cols[d][i] = features[i][d];
+  }
+  return PartitionCandidatesColumnar(cols, features.size(), partition_size);
 }
 
 Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
@@ -145,50 +163,49 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
   // ---- Offline partitioning on normalized (constraint-weight, objective)
   // feature space: tuples similar on every dimension the query touches end
   // up in one group, which is what lets a representative stand in for them.
-  std::vector<std::vector<double>> features(n);
-  {
-    size_t dims = rows.size() + (aq.has_objective ? 1 : 0);
-    std::vector<double> mn(dims, kInf), mx(dims, -kInf);
-    for (size_t i = 0; i < n; ++i) {
-      features[i].resize(dims);
-      for (size_t r = 0; r < rows.size(); ++r) features[i][r] = rows[r].w[i];
-      if (aq.has_objective) features[i][rows.size()] = obj_w[i];
-      for (size_t d = 0; d < dims; ++d) {
-        mn[d] = std::min(mn[d], features[i][d]);
-        mx[d] = std::max(mx[d], features[i][d]);
-      }
-    }
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t d = 0; d < dims; ++d) {
-        double span = mx[d] - mn[d];
-        features[i][d] = span > 0 ? (features[i][d] - mn[d]) / span : 0.0;
-      }
+  // Features are column-major — one contiguous span per dimension — so the
+  // normalization, split scans, and centroid sums are tight vector passes.
+  const size_t dims = rows.size() + (aq.has_objective ? 1 : 0);
+  std::vector<std::vector<double>> feature_cols(dims);
+  for (size_t r = 0; r < rows.size(); ++r) feature_cols[r] = rows[r].w;
+  if (aq.has_objective) feature_cols[rows.size()] = obj_w;
+  for (std::vector<double>& col : feature_cols) {
+    auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+    double lo = *mn, span = *mx - *mn;
+    if (span > 0) {
+      for (double& v : col) v = (v - lo) / span;
+    } else {
+      std::fill(col.begin(), col.end(), 0.0);
     }
   }
   std::vector<std::vector<size_t>> groups =
-      PartitionCandidates(features, options.partition_size);
+      PartitionCandidatesColumnar(feature_cols, n, options.partition_size);
   out.num_partitions = groups.size();
 
   // Representative: the member closest to the group's feature centroid.
   std::vector<size_t> rep(groups.size());
   for (size_t g = 0; g < groups.size(); ++g) {
     const auto& members = groups[g];
-    size_t dims = features[0].size();
     std::vector<double> centroid(dims, 0.0);
-    for (size_t i : members) {
-      for (size_t d = 0; d < dims; ++d) centroid[d] += features[i][d];
+    for (size_t d = 0; d < dims; ++d) {
+      const double* f = feature_cols[d].data();
+      for (size_t i : members) centroid[d] += f[i];
     }
     for (double& c : centroid) c /= static_cast<double>(members.size());
-    double best = kInf;
-    for (size_t i : members) {
-      double dist = 0.0;
-      for (size_t d = 0; d < dims; ++d) {
-        double delta = features[i][d] - centroid[d];
-        dist += delta * delta;
+    std::vector<double> dist(members.size(), 0.0);
+    for (size_t d = 0; d < dims; ++d) {
+      const double* f = feature_cols[d].data();
+      for (size_t m = 0; m < members.size(); ++m) {
+        double delta = f[members[m]] - centroid[d];
+        dist[m] += delta * delta;
       }
-      if (dist < best) {
-        best = dist;
-        rep[g] = i;
+    }
+    double best = kInf;
+    rep[g] = members[0];
+    for (size_t m = 0; m < members.size(); ++m) {
+      if (dist[m] < best) {
+        best = dist[m];
+        rep[g] = members[m];
       }
     }
   }

@@ -77,8 +77,17 @@ struct SketchRefineResult {
 /// Offline partitioning, exposed for reuse across queries on the same
 /// table (the 2016 paper's "offline" phase). `features` are per-candidate
 /// numeric vectors; groups have at most `partition_size` members.
+/// (Row-major convenience wrapper; transposes and delegates to the
+/// column-major form below.)
 std::vector<std::vector<size_t>> PartitionCandidates(
     const std::vector<std::vector<double>>& features, size_t partition_size);
+
+/// Column-major partitioning over `n` candidates: feature_cols[d] is one
+/// contiguous span of dimension d (length n) — e.g. a per-candidate gather
+/// of a table column. This is the form the engine's hot path uses.
+std::vector<std::vector<size_t>> PartitionCandidatesColumnar(
+    const std::vector<std::vector<double>>& feature_cols, size_t n,
+    size_t partition_size);
 
 /// Runs Sketch + Refine for an ILP-translatable query.
 Result<SketchRefineResult> SketchRefine(

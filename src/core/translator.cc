@@ -9,23 +9,12 @@ namespace pb::core {
 namespace {
 
 /// Evaluates an extreme-constraint argument for each candidate; NULLs come
-/// back as std::nullopt (SQL MIN/MAX skip NULLs).
+/// back as std::nullopt (SQL MIN/MAX skip NULLs). Bare column references
+/// gather from the contiguous column span in one pass.
 Result<std::vector<std::optional<double>>> EvalExtremeArg(
     const db::ExprPtr& arg, const db::Table& table,
     const std::vector<size_t>& rows) {
-  std::vector<std::optional<double>> out(rows.size());
-  db::ExprPtr bound = arg->Clone();
-  PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
-  for (size_t i = 0; i < rows.size(); ++i) {
-    PB_ASSIGN_OR_RETURN(db::Value v, bound->Eval(table.row(rows[i])));
-    if (v.is_null()) {
-      out[i] = std::nullopt;
-    } else {
-      PB_ASSIGN_OR_RETURN(double d, v.ToDouble());
-      out[i] = d;
-    }
-  }
-  return out;
+  return db::GatherNumeric(table, arg, rows);
 }
 
 }  // namespace

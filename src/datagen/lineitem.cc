@@ -19,6 +19,7 @@ db::Table GenerateLineitems(size_t n, uint64_t seed) {
   };
   static const std::vector<std::string> kFlags = {"A", "N", "R"};
   db::Table table("lineitem", std::move(schema));
+  table.Reserve(n);
   Rng rng(seed);
   // Part popularity is Zipfian, like real order data.
   ZipfDistribution part_zipf(std::max<size_t>(n / 4, 1), 1.1);
@@ -29,17 +30,17 @@ db::Table GenerateLineitems(size_t n, uint64_t seed) {
     double extendedprice = RoundTo(quantity * unit_price / 50.0, 2);
     double discount = RoundTo(rng.UniformInt(0, 10) / 100.0, 2);
     double tax = RoundTo(rng.UniformInt(0, 8) / 100.0, 2);
-    db::Tuple row;
-    row.push_back(db::Value::Int(static_cast<int64_t>(i)));
-    row.push_back(db::Value::Int(static_cast<int64_t>(part_zipf.Sample(rng))));
-    row.push_back(db::Value::Double(quantity));
-    row.push_back(db::Value::Double(extendedprice));
-    row.push_back(db::Value::Double(discount));
-    row.push_back(db::Value::Double(tax));
-    row.push_back(db::Value::Double(RoundTo(extendedprice * (1 - discount), 2)));
-    row.push_back(db::Value::String(kModes[rng.Index(kModes.size())]));
-    row.push_back(db::Value::String(kFlags[rng.Index(kFlags.size())]));
-    table.AppendUnchecked(std::move(row));
+    table.StartRow()
+        .Int(static_cast<int64_t>(i))
+        .Int(static_cast<int64_t>(part_zipf.Sample(rng)))
+        .Double(quantity)
+        .Double(extendedprice)
+        .Double(discount)
+        .Double(tax)
+        .Double(RoundTo(extendedprice * (1 - discount), 2))
+        .String(kModes[rng.Index(kModes.size())])
+        .String(kFlags[rng.Index(kFlags.size())])
+        .Finish();
   }
   return table;
 }

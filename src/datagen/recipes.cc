@@ -47,6 +47,7 @@ db::Table GenerateRecipes(size_t n, uint64_t seed,
                      {"cost", db::ValueType::kDouble},
                      {"rating", db::ValueType::kDouble}});
   db::Table table("recipes", std::move(schema));
+  table.Reserve(n);
   Rng rng(seed);
   for (size_t i = 0; i < n; ++i) {
     // Macro profile: calories are roughly log-normal around a ~550 kcal
@@ -68,20 +69,20 @@ db::Table GenerateRecipes(size_t n, uint64_t seed,
     std::string name = UniformChoice(rng, Bases()) + "_" +
                        UniformChoice(rng, Styles()) + "_" +
                        std::to_string(i);
-    db::Tuple row;
-    row.push_back(db::Value::Int(static_cast<int64_t>(i)));
-    row.push_back(db::Value::String(std::move(name)));
-    row.push_back(db::Value::String(UniformChoice(rng, Cuisines())));
-    row.push_back(db::Value::String(std::move(gluten)));
-    row.push_back(db::Value::Double(RoundTo(calories, 0)));
-    row.push_back(db::Value::Double(protein));
-    row.push_back(db::Value::Double(fat));
-    row.push_back(db::Value::Double(carbs));
-    row.push_back(db::Value::Double(sugar));
-    row.push_back(db::Value::Double(sodium));
-    row.push_back(db::Value::Double(cost));
-    row.push_back(db::Value::Double(rating));
-    table.AppendUnchecked(std::move(row));
+    table.StartRow()
+        .Int(static_cast<int64_t>(i))
+        .String(std::move(name))
+        .String(UniformChoice(rng, Cuisines()))
+        .String(std::move(gluten))
+        .Double(RoundTo(calories, 0))
+        .Double(protein)
+        .Double(fat)
+        .Double(carbs)
+        .Double(sugar)
+        .Double(sodium)
+        .Double(cost)
+        .Double(rating)
+        .Finish();
   }
   return table;
 }

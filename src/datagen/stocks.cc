@@ -36,6 +36,7 @@ db::Table GenerateStocks(size_t n, uint64_t seed, const StockOptions& options) {
                      {"is_long", db::ValueType::kInt},
                      {"tech_value", db::ValueType::kDouble}});
   db::Table table("stocks", std::move(schema));
+  table.Reserve(n);
   Rng rng(seed);
   for (size_t i = 0; i < n; ++i) {
     bool tech = rng.Bernoulli(options.tech_fraction);
@@ -51,19 +52,19 @@ db::Table GenerateStocks(size_t n, uint64_t seed, const StockOptions& options) {
     double annual_return = ClampedNormal(rng, 0.04 + 0.25 * risk,
                                          0.03, -0.05, 0.35);
     double expected_gain = RoundTo(price * annual_return, 2);
-    db::Tuple row;
-    row.push_back(db::Value::Int(static_cast<int64_t>(i)));
-    row.push_back(db::Value::String(MakeTicker(rng, i)));
-    row.push_back(db::Value::String(sector));
-    row.push_back(db::Value::String(short_term ? "short" : "long"));
-    row.push_back(db::Value::Double(price));
-    row.push_back(db::Value::Double(expected_gain));
-    row.push_back(db::Value::Double(risk));
-    row.push_back(db::Value::Int(tech ? 1 : 0));
-    row.push_back(db::Value::Int(short_term ? 1 : 0));
-    row.push_back(db::Value::Int(short_term ? 0 : 1));
-    row.push_back(db::Value::Double(tech ? price : 0.0));
-    table.AppendUnchecked(std::move(row));
+    table.StartRow()
+        .Int(static_cast<int64_t>(i))
+        .String(MakeTicker(rng, i))
+        .String(std::move(sector))
+        .String(short_term ? "short" : "long")
+        .Double(price)
+        .Double(expected_gain)
+        .Double(risk)
+        .Int(tech ? 1 : 0)
+        .Int(short_term ? 1 : 0)
+        .Int(short_term ? 0 : 1)
+        .Double(tech ? price : 0.0)
+        .Finish();
   }
   return table;
 }

@@ -30,6 +30,7 @@ db::Table GenerateTravelItems(size_t n, uint64_t seed,
                      {"beach_km", db::ValueType::kDouble},
                      {"comfort", db::ValueType::kDouble}});
   db::Table table("travel_items", std::move(schema));
+  table.Reserve(n);
   Rng rng(seed);
   const auto& dests = Destinations(options.num_destinations);
   for (size_t i = 0; i < n; ++i) {
@@ -53,17 +54,17 @@ db::Table GenerateTravelItems(size_t n, uint64_t seed,
       price = RoundTo(ClampedNormal(rng, 180, 70, 40, 600), 2);
       comfort = RoundTo(ClampedNormal(rng, 3.0, 0.6, 1, 5), 1);
     }
-    db::Tuple row;
-    row.push_back(db::Value::Int(static_cast<int64_t>(i)));
-    row.push_back(db::Value::String(kind));
-    row.push_back(db::Value::String(dests[rng.Index(dests.size())]));
-    row.push_back(db::Value::Double(price));
-    row.push_back(db::Value::Int(kind == "flight" ? 1 : 0));
-    row.push_back(db::Value::Int(kind == "hotel" ? 1 : 0));
-    row.push_back(db::Value::Int(kind == "car" ? 1 : 0));
-    row.push_back(db::Value::Double(kind == "hotel" ? beach_km : 0.0));
-    row.push_back(db::Value::Double(comfort));
-    table.AppendUnchecked(std::move(row));
+    table.StartRow()
+        .Int(static_cast<int64_t>(i))
+        .String(kind)
+        .String(dests[rng.Index(dests.size())])
+        .Double(price)
+        .Int(kind == "flight" ? 1 : 0)
+        .Int(kind == "hotel" ? 1 : 0)
+        .Int(kind == "car" ? 1 : 0)
+        .Double(kind == "hotel" ? beach_km : 0.0)
+        .Double(comfort)
+        .Finish();
   }
   return table;
 }

@@ -1,0 +1,182 @@
+#include "db/column.h"
+
+namespace pb::db {
+
+namespace {
+
+/// Numeric stats update shared by the typed appends.
+inline void AddNumeric(ColumnStats* s, double d) {
+  ++s->non_null_count;
+  s->sum += d;
+  if (!s->min || d < *s->min) s->min = d;
+  if (!s->max || d > *s->max) s->max = d;
+}
+
+}  // namespace
+
+Value Column::GetValue(size_t i) const {
+  PB_DCHECK(i < size());
+  if (storage_ != ValueType::kNull && nulls_.Test(i)) return Value::Null();
+  switch (storage_) {
+    case ValueType::kInt:
+      return Value::Int(ints_[i]);
+    case ValueType::kDouble:
+      return Value::Double(doubles_[i]);
+    case ValueType::kBool:
+      return Value::Bool(bools_[i] != 0);
+    case ValueType::kString:
+      return Value::String(strings_[i]);
+    case ValueType::kNull:
+      return values_[i];
+  }
+  return Value::Null();
+}
+
+void Column::AppendNull() {
+  // The only place a null is recorded: stats_.null_count (the public stats
+  // mirror) and the bitmap stay in sync by construction.
+  nulls_.Append(true);
+  ++stats_.null_count;
+  switch (storage_) {
+    case ValueType::kInt:    ints_.push_back(0); break;
+    case ValueType::kDouble: doubles_.push_back(0.0); break;
+    case ValueType::kBool:   bools_.push_back(0); break;
+    case ValueType::kString: strings_.emplace_back(); break;
+    case ValueType::kNull:   values_.emplace_back(); break;
+  }
+}
+
+void Column::AppendInt(int64_t v) {
+  if (storage_ == ValueType::kDouble) {  // INT widens into DOUBLE storage
+    AppendDouble(static_cast<double>(v));
+    return;
+  }
+  PB_DCHECK(storage_ == ValueType::kInt);
+  nulls_.Append(false);
+  ints_.push_back(v);
+  AddNumeric(&stats_, static_cast<double>(v));
+}
+
+void Column::AppendDouble(double v) {
+  PB_DCHECK(storage_ == ValueType::kDouble);
+  nulls_.Append(false);
+  doubles_.push_back(v);
+  AddNumeric(&stats_, v);
+}
+
+void Column::AppendBool(bool v) {
+  PB_DCHECK(storage_ == ValueType::kBool);
+  nulls_.Append(false);
+  bools_.push_back(v ? 1 : 0);
+  ++stats_.non_null_count;
+}
+
+void Column::AppendString(std::string v) {
+  PB_DCHECK(storage_ == ValueType::kString);
+  nulls_.Append(false);
+  strings_.push_back(std::move(v));
+  ++stats_.non_null_count;
+}
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  if (storage_ == ValueType::kNull) {
+    // Untyped fallback: store the Value, dispatch stats on its runtime type.
+    nulls_.Append(false);
+    values_.push_back(v);
+    if (v.is_numeric()) {
+      AddNumeric(&stats_, v.is_int() ? static_cast<double>(v.AsInt())
+                                     : v.AsDoubleExact());
+    } else {
+      ++stats_.non_null_count;
+    }
+    return;
+  }
+  switch (v.type()) {
+    case ValueType::kInt:
+      if (storage_ == ValueType::kInt || storage_ == ValueType::kDouble) {
+        AppendInt(v.AsInt());
+        return;
+      }
+      break;
+    case ValueType::kDouble:
+      if (storage_ == ValueType::kDouble) {
+        AppendDouble(v.AsDoubleExact());
+        return;
+      }
+      break;
+    case ValueType::kBool:
+      if (storage_ == ValueType::kBool) {
+        AppendBool(v.AsBool());
+        return;
+      }
+      break;
+    case ValueType::kString:
+      if (storage_ == ValueType::kString) {
+        AppendString(v.AsString());
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  PB_DCHECK(false) << "value of type " << ValueTypeToString(v.type())
+                   << " does not fit " << ValueTypeToString(storage_)
+                   << " column storage";
+  AppendNull();
+}
+
+void Column::AppendFrom(const Column& src, size_t i) {
+  PB_DCHECK(i < src.size());
+  if (src.storage_ == storage_) {
+    if (src.nulls_.Test(i) && storage_ != ValueType::kNull) {
+      AppendNull();
+      return;
+    }
+    switch (storage_) {
+      case ValueType::kInt:    AppendInt(src.ints_[i]); return;
+      case ValueType::kDouble: AppendDouble(src.doubles_[i]); return;
+      case ValueType::kBool:   AppendBool(src.bools_[i] != 0); return;
+      case ValueType::kString: AppendString(src.strings_[i]); return;
+      case ValueType::kNull:   AppendValue(src.values_[i]); return;
+    }
+  }
+  AppendValue(src.GetValue(i));
+}
+
+void Column::Reserve(size_t n) {
+  nulls_.Reserve(n);
+  switch (storage_) {
+    case ValueType::kInt:    ints_.reserve(n); break;
+    case ValueType::kDouble: doubles_.reserve(n); break;
+    case ValueType::kBool:   bools_.reserve(n); break;
+    case ValueType::kString: strings_.reserve(n); break;
+    case ValueType::kNull:   values_.reserve(n); break;
+  }
+}
+
+int Column::Compare(size_t a, size_t b) const {
+  PB_DCHECK(a < size() && b < size());
+  if (storage_ == ValueType::kNull) return values_[a].Compare(values_[b]);
+  bool an = nulls_.Test(a), bn = nulls_.Test(b);
+  if (an || bn) return an == bn ? 0 : (an ? -1 : 1);  // NULL sorts first
+  switch (storage_) {
+    case ValueType::kInt:
+      return ints_[a] < ints_[b] ? -1 : (ints_[a] > ints_[b] ? 1 : 0);
+    case ValueType::kDouble:
+      return doubles_[a] < doubles_[b] ? -1 : (doubles_[a] > doubles_[b] ? 1 : 0);
+    case ValueType::kBool:
+      return bools_[a] < bools_[b] ? -1 : (bools_[a] > bools_[b] ? 1 : 0);
+    case ValueType::kString: {
+      int c = strings_[a].compare(strings_[b]);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;
+  }
+}
+
+}  // namespace pb::db

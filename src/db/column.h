@@ -1,0 +1,187 @@
+// Column: contiguous typed storage for one attribute of a relation.
+//
+// The engine's hot paths (ILP coefficient extraction, MIN/MAX pruning
+// bounds, SketchRefine partitioning, column statistics) are memory-bound
+// when every cell sits behind a std::variant in a row-store. A Column keeps
+// the values of one attribute in a single typed vector (double / int64_t /
+// bool / string) plus a word-packed null bitmap, so numeric consumers can
+// run one tight pass over a contiguous span instead of dispatching per
+// cell. Columns whose declared type is kNull ("untyped / any") fall back to
+// per-cell Value storage, which is what heterogeneous outputs like GroupBy
+// aggregates need.
+
+#ifndef PB_DB_COLUMN_H_
+#define PB_DB_COLUMN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "db/value.h"
+
+namespace pb::db {
+
+/// Aggregate statistics for one column, maintained incrementally on append.
+struct ColumnStats {
+  int64_t non_null_count = 0;
+  int64_t null_count = 0;
+  // Numeric-only accumulators; unset if the column has no numeric values.
+  std::optional<double> min;
+  std::optional<double> max;
+  double sum = 0.0;
+
+  double mean() const {
+    return non_null_count > 0 ? sum / static_cast<double>(non_null_count) : 0.0;
+  }
+};
+
+/// Word-packed bitmap marking NULL slots (bit set == NULL).
+class NullBitmap {
+ public:
+  size_t size() const { return size_; }
+  int64_t null_count() const { return null_count_; }
+  bool any() const { return null_count_ > 0; }
+
+  bool Test(size_t i) const {
+    PB_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Append(bool is_null) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (is_null) {
+      words_.back() |= uint64_t{1} << (size_ & 63);
+      ++null_count_;
+    }
+    ++size_;
+  }
+
+  void Reserve(size_t n) { words_.reserve((n + 63) / 64); }
+
+  /// Raw words for vectorized consumers; bit i of words()[i/64] == NULL.
+  const uint64_t* words() const { return words_.data(); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+  int64_t null_count_ = 0;
+};
+
+/// Read-only view over a numeric column: a contiguous span of values plus
+/// the null mask. Exactly one of doubles()/ints() is non-null; operator[]
+/// coerces to double either way. Slots where IsNull(i) hold an unspecified
+/// placeholder and must be masked by the consumer.
+class NumericColumnView {
+ public:
+  NumericColumnView() = default;
+
+  size_t size() const { return size_; }
+  bool valid() const { return dbl_ != nullptr || int_ != nullptr; }
+  bool has_nulls() const { return nulls_ && nulls_->any(); }
+  int64_t null_count() const { return nulls_ ? nulls_->null_count() : 0; }
+
+  bool IsNull(size_t i) const { return nulls_ && nulls_->Test(i); }
+
+  /// Value at i as double; meaningful only where !IsNull(i).
+  double operator[](size_t i) const {
+    PB_DCHECK(i < size_);
+    return dbl_ ? dbl_[i] : static_cast<double>(int_[i]);
+  }
+
+  /// Contiguous spans; nullptr for the storage type the column is not.
+  const double* doubles() const { return dbl_; }
+  const int64_t* ints() const { return int_; }
+  const NullBitmap* null_mask() const { return nulls_; }
+
+ private:
+  friend class Column;
+  NumericColumnView(const double* d, const int64_t* i, const NullBitmap* n,
+                    size_t size)
+      : dbl_(d), int_(i), nulls_(n), size_(size) {}
+
+  const double* dbl_ = nullptr;
+  const int64_t* int_ = nullptr;
+  const NullBitmap* nulls_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Contiguous typed storage for one column, with incremental statistics.
+class Column {
+ public:
+  Column() : Column(ValueType::kNull) {}
+  explicit Column(ValueType storage) : storage_(storage) {}
+
+  /// The storage layout: kInt/kDouble/kBool/kString are typed vectors;
+  /// kNull is the per-cell Value fallback for untyped columns.
+  ValueType storage_type() const { return storage_; }
+  bool numeric_storage() const {
+    return storage_ == ValueType::kInt || storage_ == ValueType::kDouble;
+  }
+
+  size_t size() const { return nulls_.size(); }
+  bool IsNull(size_t i) const { return nulls_.Test(i); }
+  const NullBitmap& nulls() const { return nulls_; }
+  const ColumnStats& stats() const { return stats_; }
+
+  /// Materializes the cell as a Value (copies strings).
+  Value GetValue(size_t i) const;
+
+  // ----- Typed appends (the column-wise hot path) --------------------------
+  // Each appends one slot and updates the stats. AppendInt widens into
+  // DOUBLE storage; the other typed appends require matching storage.
+
+  void AppendNull();
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendBool(bool v);
+  void AppendString(std::string v);
+
+  /// Appends any Value. NULL fits anywhere; INT widens into DOUBLE storage.
+  /// A value that does not fit the storage type is a programming error:
+  /// asserted in debug builds, appended as NULL in release.
+  void AppendValue(const Value& v);
+
+  /// Appends slot `i` of `src` (same storage type), without a Value hop.
+  void AppendFrom(const Column& src, size_t i);
+
+  void Reserve(size_t n);
+
+  // ----- Contiguous data access --------------------------------------------
+
+  /// Typed spans; valid only for the matching storage type. NULL slots
+  /// hold zero/empty placeholders.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<uint8_t>& bools() const { return bools_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Span + null-mask view; requires numeric_storage().
+  NumericColumnView NumericView() const {
+    PB_DCHECK(numeric_storage());
+    return NumericColumnView(
+        storage_ == ValueType::kDouble ? doubles_.data() : nullptr,
+        storage_ == ValueType::kInt ? ints_.data() : nullptr, &nulls_, size());
+  }
+
+  /// Three-way compare of two slots, matching Value::Compare semantics
+  /// (NULL sorts before everything).
+  int Compare(size_t a, size_t b) const;
+
+ private:
+  ValueType storage_;
+  NullBitmap nulls_;
+  ColumnStats stats_;
+  // Exactly one of these is populated, per storage_.
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<std::string> strings_;
+  std::vector<Value> values_;  // untyped fallback
+};
+
+}  // namespace pb::db
+
+#endif  // PB_DB_COLUMN_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "db/table.h"
 
 namespace pb::db {
 
@@ -164,7 +165,35 @@ Status Expr::Bind(const Schema& schema) {
   return Status::OK();
 }
 
-Result<Value> Expr::Eval(const Tuple& tuple) const {
+namespace {
+
+/// Row accessor over a materialized Tuple.
+struct TupleRow {
+  const Tuple* tuple;
+  Result<Value> Get(int i) const {
+    if (static_cast<size_t>(i) >= tuple->size()) {
+      return Status::OutOfRange("column index out of range");
+    }
+    return (*tuple)[i];
+  }
+};
+
+/// Row accessor over columnar storage: one cell materializes at a time.
+struct TableRow {
+  const Table* table;
+  size_t row;
+  Result<Value> Get(int i) const {
+    if (static_cast<size_t>(i) >= table->schema().num_columns()) {
+      return Status::OutOfRange("column index out of range");
+    }
+    return table->column_data(i).GetValue(row);
+  }
+};
+
+}  // namespace
+
+template <typename RowT>
+Result<Value> Expr::EvalImpl(const RowT& row) const {
   switch (kind) {
     case ExprKind::kLiteral:
       return literal;
@@ -172,13 +201,10 @@ Result<Value> Expr::Eval(const Tuple& tuple) const {
       if (column_index < 0) {
         return Status::Internal("unbound column '" + column_name + "'");
       }
-      if (static_cast<size_t>(column_index) >= tuple.size()) {
-        return Status::OutOfRange("column index out of range");
-      }
-      return tuple[column_index];
+      return row.Get(column_index);
     }
     case ExprKind::kUnary: {
-      PB_ASSIGN_OR_RETURN(Value v, children[0]->Eval(tuple));
+      PB_ASSIGN_OR_RETURN(Value v, children[0]->EvalImpl(row));
       if (v.is_null()) return Value::Null();
       if (unary_op == UnaryOp::kNeg) {
         if (v.is_int()) return Value::Int(-v.AsInt());
@@ -193,22 +219,22 @@ Result<Value> Expr::Eval(const Tuple& tuple) const {
     }
     case ExprKind::kBinary: {
       // Short-circuit-free evaluation is fine: expressions are pure.
-      PB_ASSIGN_OR_RETURN(Value l, children[0]->Eval(tuple));
-      PB_ASSIGN_OR_RETURN(Value r, children[1]->Eval(tuple));
+      PB_ASSIGN_OR_RETURN(Value l, children[0]->EvalImpl(row));
+      PB_ASSIGN_OR_RETURN(Value r, children[1]->EvalImpl(row));
       if (IsComparisonOp(binary_op)) return EvalComparison(binary_op, l, r);
       if (IsArithmeticOp(binary_op)) return EvalArithmetic(binary_op, l, r);
       return EvalLogical(binary_op, l, r);
     }
     case ExprKind::kBetween: {
-      PB_ASSIGN_OR_RETURN(Value v, children[0]->Eval(tuple));
-      PB_ASSIGN_OR_RETURN(Value lo, children[1]->Eval(tuple));
-      PB_ASSIGN_OR_RETURN(Value hi, children[2]->Eval(tuple));
+      PB_ASSIGN_OR_RETURN(Value v, children[0]->EvalImpl(row));
+      PB_ASSIGN_OR_RETURN(Value lo, children[1]->EvalImpl(row));
+      PB_ASSIGN_OR_RETURN(Value hi, children[2]->EvalImpl(row));
       if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
       bool in = v.Compare(lo) >= 0 && v.Compare(hi) <= 0;
       return Value::Bool(negated ? !in : in);
     }
     case ExprKind::kIn: {
-      PB_ASSIGN_OR_RETURN(Value v, children[0]->Eval(tuple));
+      PB_ASSIGN_OR_RETURN(Value v, children[0]->EvalImpl(row));
       if (v.is_null()) return Value::Null();
       bool found = false;
       for (const Value& item : in_list) {
@@ -220,12 +246,12 @@ Result<Value> Expr::Eval(const Tuple& tuple) const {
       return Value::Bool(negated ? !found : found);
     }
     case ExprKind::kIsNull: {
-      PB_ASSIGN_OR_RETURN(Value v, children[0]->Eval(tuple));
+      PB_ASSIGN_OR_RETURN(Value v, children[0]->EvalImpl(row));
       bool isnull = v.is_null();
       return Value::Bool(negated ? !isnull : isnull);
     }
     case ExprKind::kLike: {
-      PB_ASSIGN_OR_RETURN(Value v, children[0]->Eval(tuple));
+      PB_ASSIGN_OR_RETURN(Value v, children[0]->EvalImpl(row));
       if (v.is_null()) return Value::Null();
       if (!v.is_string()) {
         return Status::TypeError("LIKE requires a STRING operand");
@@ -237,14 +263,34 @@ Result<Value> Expr::Eval(const Tuple& tuple) const {
   return Status::Internal("unknown expression kind");
 }
 
-Result<bool> Expr::Matches(const Tuple& tuple) const {
-  PB_ASSIGN_OR_RETURN(Value v, Eval(tuple));
-  if (v.is_null()) return false;
-  if (!v.is_bool()) {
+Result<Value> Expr::Eval(const Tuple& tuple) const {
+  return EvalImpl(TupleRow{&tuple});
+}
+
+Result<Value> Expr::Eval(const Table& table, size_t row) const {
+  return EvalImpl(TableRow{&table, row});
+}
+
+namespace {
+
+Result<bool> ToMatch(Result<Value> v) {
+  PB_RETURN_IF_ERROR(v.status());
+  if (v->is_null()) return false;
+  if (!v->is_bool()) {
     return Status::TypeError("predicate must evaluate to BOOL, got " +
-                             std::string(ValueTypeToString(v.type())));
+                             std::string(ValueTypeToString(v->type())));
   }
-  return v.AsBool();
+  return v->AsBool();
+}
+
+}  // namespace
+
+Result<bool> Expr::Matches(const Tuple& tuple) const {
+  return ToMatch(Eval(tuple));
+}
+
+Result<bool> Expr::Matches(const Table& table, size_t row) const {
+  return ToMatch(Eval(table, row));
 }
 
 std::string Expr::ToString() const {

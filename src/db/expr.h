@@ -19,6 +19,8 @@
 
 namespace pb::db {
 
+class Table;
+
 enum class ExprKind {
   kLiteral,
   kColumnRef,
@@ -82,15 +84,28 @@ class Expr {
   /// Evaluates over one tuple. Bind() must have succeeded first.
   Result<Value> Eval(const Tuple& tuple) const;
 
+  /// Evaluates over row `row` of a columnar table: column references read
+  /// single cells straight from column storage, so no Tuple is built.
+  Result<Value> Eval(const Table& table, size_t row) const;
+
   /// True iff Eval yields BOOL TRUE (NULL and errors are not TRUE).
   /// Errors are surfaced, NULL is treated as not-matching per SQL.
   Result<bool> Matches(const Tuple& tuple) const;
+
+  /// Columnar counterpart of Matches(const Tuple&).
+  Result<bool> Matches(const Table& table, size_t row) const;
 
   /// SQL-ish rendering ("R.calories <= 500 AND R.gluten = 'free'").
   std::string ToString() const;
 
   /// Deep copy (Bind state included).
   ExprPtr Clone() const;
+
+ private:
+  // Shared evaluation core; RowT supplies `Result<Value> Get(int)` over
+  // either a materialized Tuple or a (table, row) pair.
+  template <typename RowT>
+  Result<Value> EvalImpl(const RowT& row) const;
 };
 
 // ----- Factories -----------------------------------------------------------

@@ -7,6 +7,20 @@
 
 namespace pb::db {
 
+namespace {
+
+/// True when `bound` is a bound reference to a column of `table` with
+/// contiguous numeric (INT/DOUBLE) storage.
+bool IsNumericColumnRef(const ExprPtr& bound, const Table& table) {
+  return bound && bound->kind == ExprKind::kColumnRef &&
+         bound->column_index >= 0 &&
+         static_cast<size_t>(bound->column_index) <
+             table.schema().num_columns() &&
+         table.column_data(bound->column_index).numeric_storage();
+}
+
+}  // namespace
+
 const char* AggFuncToString(AggFunc f) {
   switch (f) {
     case AggFunc::kCount: return "COUNT";
@@ -20,16 +34,18 @@ const char* AggFuncToString(AggFunc f) {
 
 Result<Table> Select(const Table& table, const ExprPtr& pred,
                      const std::string& result_name) {
-  Table out(result_name, table.schema());
   if (!pred) {
-    for (const Tuple& row : table.rows()) out.AppendUnchecked(row);
-    return out;
+    // All rows qualify: copy the column vectors wholesale.
+    std::vector<size_t> all(table.schema().num_columns());
+    for (size_t c = 0; c < all.size(); ++c) all[c] = c;
+    return table.SelectColumns(all, result_name);
   }
+  Table out(result_name, table.schema());
   ExprPtr bound = pred->Clone();
   PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
-  for (const Tuple& row : table.rows()) {
-    PB_ASSIGN_OR_RETURN(bool keep, bound->Matches(row));
-    if (keep) out.AppendUnchecked(row);
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    PB_ASSIGN_OR_RETURN(bool keep, bound->Matches(table, i));
+    if (keep) out.AppendRowFrom(table, i);
   }
   return out;
 }
@@ -45,7 +61,7 @@ Result<std::vector<size_t>> FilterIndices(const Table& table,
   ExprPtr bound = pred->Clone();
   PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
   for (size_t i = 0; i < table.num_rows(); ++i) {
-    PB_ASSIGN_OR_RETURN(bool keep, bound->Matches(table.row(i)));
+    PB_ASSIGN_OR_RETURN(bool keep, bound->Matches(table, i));
     if (keep) out.push_back(i);
   }
   return out;
@@ -55,40 +71,37 @@ Result<Table> Project(const Table& table,
                       const std::vector<std::string>& columns,
                       const std::string& result_name) {
   std::vector<size_t> indices;
-  Schema out_schema;
   for (const std::string& name : columns) {
     PB_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(name));
     indices.push_back(idx);
-    PB_RETURN_IF_ERROR(out_schema.AddColumn(table.schema().column(idx)));
   }
-  Table out(result_name, std::move(out_schema));
-  for (const Tuple& row : table.rows()) {
-    Tuple projected;
-    projected.reserve(indices.size());
-    for (size_t idx : indices) projected.push_back(row[idx]);
-    out.AppendUnchecked(std::move(projected));
-  }
-  return out;
+  // Column vectors are copied wholesale; SelectColumns validates the
+  // projection (duplicates) and fails cleanly.
+  return table.SelectColumns(indices, result_name);
 }
 
 Result<Table> OrderBy(const Table& table, const std::string& column,
                       bool ascending) {
   PB_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(column));
+  const Column& key = table.column_data(idx);
   std::vector<size_t> order(table.num_rows());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    int c = table.row(a)[idx].Compare(table.row(b)[idx]);
+    int c = key.Compare(a, b);
     return ascending ? c < 0 : c > 0;
   });
   Table out(table.name() + "_sorted", table.schema());
-  for (size_t i : order) out.AppendUnchecked(table.row(i));
+  out.Reserve(order.size());
+  for (size_t i : order) out.AppendRowFrom(table, i);
   return out;
 }
 
 Table Limit(const Table& table, size_t n) {
   Table out(table.name() + "_limit", table.schema());
-  for (size_t i = 0; i < std::min(n, table.num_rows()); ++i) {
-    out.AppendUnchecked(table.row(i));
+  size_t shown = std::min(n, table.num_rows());
+  out.Reserve(shown);
+  for (size_t i = 0; i < shown; ++i) {
+    out.AppendRowFrom(table, i);
   }
   return out;
 }
@@ -150,9 +163,110 @@ class AggAccumulator {
   std::optional<Value> extreme_;
 };
 
+/// Vectorized AggregateRows over a numeric column span: one tight pass,
+/// no per-cell Value or variant dispatch. Mirrors AggAccumulator exactly.
+Result<Value> AggregateColumnRows(const Table& table, AggFunc func, int column,
+                                  const std::vector<size_t>& rows,
+                                  const std::vector<int64_t>& multiplicities) {
+  const NumericColumnView view = table.column_data(column).NumericView();
+  const bool int_storage = view.ints() != nullptr;
+  int64_t count = 0;
+  double sum = 0.0;
+  bool has_extreme = false;
+  double extreme = 0.0;
+  for (size_t k = 0; k < rows.size(); ++k) {
+    if (rows[k] >= table.num_rows()) {
+      return Status::OutOfRange("row index out of range");
+    }
+    if (multiplicities[k] < 0) {
+      return Status::InvalidArgument("negative multiplicity");
+    }
+    if (multiplicities[k] == 0 || view.IsNull(rows[k])) continue;
+    double d = view[rows[k]];
+    switch (func) {
+      case AggFunc::kCount:
+        count += multiplicities[k];
+        break;
+      case AggFunc::kMin:
+        if (!has_extreme || d < extreme) extreme = d;
+        has_extreme = true;
+        count += multiplicities[k];
+        break;
+      case AggFunc::kMax:
+        if (!has_extreme || d > extreme) extreme = d;
+        has_extreme = true;
+        count += multiplicities[k];
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        sum += d * static_cast<double>(multiplicities[k]);
+        count += multiplicities[k];
+        break;
+    }
+  }
+  switch (func) {
+    case AggFunc::kCount:
+      return Value::Int(count);
+    case AggFunc::kSum:
+      if (count == 0) return Value::Null();
+      return int_storage ? Value::Int(static_cast<int64_t>(sum))
+                         : Value::Double(sum);
+    case AggFunc::kAvg:
+      if (count == 0) return Value::Null();
+      return Value::Double(sum / static_cast<double>(count));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      if (!has_extreme) return Value::Null();
+      return int_storage ? Value::Int(static_cast<int64_t>(extreme))
+                         : Value::Double(extreme);
+  }
+  return Value::Null();
+}
+
 }  // namespace
 
 Result<Value> Aggregate(const Table& table, AggFunc func, const ExprPtr& arg) {
+  ExprPtr bound;
+  if (arg) {
+    bound = arg->Clone();
+    PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
+  } else if (func != AggFunc::kCount) {
+    return Status::InvalidArgument(
+        std::string(AggFuncToString(func)) + " requires an argument");
+  }
+  if (!bound) return Value::Int(static_cast<int64_t>(table.num_rows()));
+  // Whole-column aggregates of a bare column reference come straight from
+  // the incrementally-maintained column statistics: O(1).
+  if (bound->kind == ExprKind::kColumnRef && bound->column_index >= 0 &&
+      static_cast<size_t>(bound->column_index) < table.schema().num_columns()) {
+    const Column& col = table.column_data(bound->column_index);
+    const ColumnStats& s = col.stats();
+    if (func == AggFunc::kCount && col.storage_type() != ValueType::kNull) {
+      return Value::Int(s.non_null_count);
+    }
+    if (col.numeric_storage()) {
+      const bool int_storage = col.storage_type() == ValueType::kInt;
+      switch (func) {
+        case AggFunc::kSum:
+          if (s.non_null_count == 0) return Value::Null();
+          return int_storage ? Value::Int(static_cast<int64_t>(s.sum))
+                             : Value::Double(s.sum);
+        case AggFunc::kAvg:
+          if (s.non_null_count == 0) return Value::Null();
+          return Value::Double(s.mean());
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          const std::optional<double>& e = func == AggFunc::kMin ? s.min
+                                                                 : s.max;
+          if (!e) return Value::Null();
+          return int_storage ? Value::Int(static_cast<int64_t>(*e))
+                             : Value::Double(*e);
+        }
+        default:
+          break;
+      }
+    }
+  }
   std::vector<size_t> all(table.num_rows());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
   std::vector<int64_t> ones(all.size(), 1);
@@ -175,6 +289,10 @@ Result<Value> AggregateRows(const Table& table, AggFunc func,
     return Status::InvalidArgument(
         std::string(AggFuncToString(func)) + " requires an argument");
   }
+  if (IsNumericColumnRef(bound, table)) {
+    return AggregateColumnRows(table, func, bound->column_index, rows,
+                               multiplicities);
+  }
   AggAccumulator acc(func);
   for (size_t k = 0; k < rows.size(); ++k) {
     if (rows[k] >= table.num_rows()) {
@@ -186,7 +304,7 @@ Result<Value> AggregateRows(const Table& table, AggFunc func,
     if (multiplicities[k] == 0) continue;
     Value v = Value::Int(1);  // COUNT(*) marker
     if (bound) {
-      PB_ASSIGN_OR_RETURN(v, bound->Eval(table.row(rows[k])));
+      PB_ASSIGN_OR_RETURN(v, bound->Eval(table, rows[k]));
     }
     // MIN/MAX ignore multiplicity by nature; SUM/AVG/COUNT scale by it.
     PB_RETURN_IF_ERROR(acc.Add(v, multiplicities[k]));
@@ -209,20 +327,22 @@ Result<Table> GroupBy(const Table& table, const std::string& group_column,
           std::string(AggFuncToString(aggs[i].func)) + " requires an argument");
     }
   }
+  const Column& gcol = table.column_data(gidx);
   // Group rows (std::map gives deterministic output order via Value::operator<).
   std::map<Value, std::vector<AggAccumulator>> groups;
-  for (const Tuple& row : table.rows()) {
-    auto it = groups.find(row[gidx]);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Value key = gcol.GetValue(r);
+    auto it = groups.find(key);
     if (it == groups.end()) {
       std::vector<AggAccumulator> accs;
       accs.reserve(aggs.size());
       for (const auto& spec : aggs) accs.emplace_back(spec.func);
-      it = groups.emplace(row[gidx], std::move(accs)).first;
+      it = groups.emplace(std::move(key), std::move(accs)).first;
     }
     for (size_t i = 0; i < aggs.size(); ++i) {
       Value v = Value::Int(1);
       if (bound[i]) {
-        PB_ASSIGN_OR_RETURN(v, bound[i]->Eval(row));
+        PB_ASSIGN_OR_RETURN(v, bound[i]->Eval(table, r));
       }
       PB_RETURN_IF_ERROR(it->second[i].Add(v));
     }
@@ -252,13 +372,13 @@ Result<Table> CrossJoin(const Table& left, const Table& right,
   std::string rprefix = right.name();
   if (lprefix == rprefix) rprefix += "_r";
   Schema out_schema;
-  for (const Column& c : left.schema().columns()) {
-    Column col = c;
+  for (const ColumnDef& c : left.schema().columns()) {
+    ColumnDef col = c;
     if (right.schema().HasColumn(c.name)) col.name = lprefix + "." + c.name;
     PB_RETURN_IF_ERROR(out_schema.AddColumn(col));
   }
-  for (const Column& c : right.schema().columns()) {
-    Column col = c;
+  for (const ColumnDef& c : right.schema().columns()) {
+    ColumnDef col = c;
     if (left.schema().HasColumn(c.name)) col.name = rprefix + "." + c.name;
     PB_RETURN_IF_ERROR(out_schema.AddColumn(col));
   }
@@ -268,10 +388,15 @@ Result<Table> CrossJoin(const Table& left, const Table& right,
     PB_RETURN_IF_ERROR(bound->Bind(out_schema));
   }
   Table out(result_name, std::move(out_schema));
+  // Materialize each side's rows once; the inner loop reuses them.
+  std::vector<Tuple> rrows;
+  rrows.reserve(right.num_rows());
+  for (size_t j = 0; j < right.num_rows(); ++j) rrows.push_back(right.row(j));
   Tuple combined;
   combined.reserve(left.schema().num_columns() + right.schema().num_columns());
-  for (const Tuple& l : left.rows()) {
-    for (const Tuple& r : right.rows()) {
+  for (size_t i = 0; i < left.num_rows(); ++i) {
+    Tuple l = left.row(i);
+    for (const Tuple& r : rrows) {
       combined.clear();
       combined.insert(combined.end(), l.begin(), l.end());
       combined.insert(combined.end(), r.begin(), r.end());
@@ -283,6 +408,59 @@ Result<Table> CrossJoin(const Table& left, const Table& right,
     }
   }
   return out;
+}
+
+Result<std::vector<std::optional<double>>> GatherNumericBound(
+    const Table& table, const Expr& expr, const std::vector<size_t>& rows) {
+  std::vector<std::optional<double>> out(rows.size());
+  if (expr.kind == ExprKind::kColumnRef && expr.column_index >= 0 &&
+      static_cast<size_t>(expr.column_index) < table.schema().num_columns() &&
+      table.column_data(expr.column_index).numeric_storage()) {
+    const NumericColumnView view =
+        table.column_data(expr.column_index).NumericView();
+    const size_t n = view.size();
+    if (!view.has_nulls()) {
+      // Null-free spans: a straight gather over the contiguous data.
+      if (const double* d = view.doubles()) {
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (rows[i] >= n) return Status::OutOfRange("row index out of range");
+          out[i] = d[rows[i]];
+        }
+      } else {
+        const int64_t* p = view.ints();
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (rows[i] >= n) return Status::OutOfRange("row index out of range");
+          out[i] = static_cast<double>(p[rows[i]]);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] >= n) return Status::OutOfRange("row index out of range");
+        if (!view.IsNull(rows[i])) out[i] = view[rows[i]];
+      }
+    }
+    return out;
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= table.num_rows()) {
+      return Status::OutOfRange("row index out of range");
+    }
+    PB_ASSIGN_OR_RETURN(Value v, expr.Eval(table, rows[i]));
+    if (v.is_null()) {
+      out[i] = std::nullopt;
+    } else {
+      PB_ASSIGN_OR_RETURN(double d, v.ToDouble());
+      out[i] = d;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::optional<double>>> GatherNumeric(
+    const Table& table, const ExprPtr& expr, const std::vector<size_t>& rows) {
+  ExprPtr bound = expr->Clone();
+  PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
+  return GatherNumericBound(table, *bound, rows);
 }
 
 }  // namespace pb::db

@@ -74,6 +74,19 @@ Result<Table> CrossJoin(const Table& left, const Table& right,
                         const ExprPtr& pred,
                         const std::string& result_name = "join");
 
+/// Evaluates `expr` for each index in `rows` as a double (nullopt for SQL
+/// NULL). When `expr` is a bare reference to a numeric column this is one
+/// vectorized gather over the contiguous column span; otherwise it falls
+/// back to per-row expression evaluation. A clone of `expr` is bound
+/// against `table` internally; out-of-range row indices are an error.
+Result<std::vector<std::optional<double>>> GatherNumeric(
+    const Table& table, const ExprPtr& expr, const std::vector<size_t>& rows);
+
+/// As GatherNumeric, but `expr` must already be bound against `table`'s
+/// schema — the repeated-call form (no per-call clone + bind).
+Result<std::vector<std::optional<double>>> GatherNumericBound(
+    const Table& table, const Expr& expr, const std::vector<size_t>& rows);
+
 }  // namespace pb::db
 
 #endif  // PB_DB_OPS_H_

@@ -5,7 +5,7 @@
 
 namespace pb::db {
 
-Schema::Schema(std::vector<Column> columns) {
+Schema::Schema(std::vector<ColumnDef> columns) {
   for (auto& c : columns) {
     Status s = AddColumn(std::move(c));
     PB_CHECK(s.ok()) << s.ToString();
@@ -24,7 +24,7 @@ bool Schema::HasColumn(const std::string& name) const {
   return index_.count(AsciiToLower(name)) > 0;
 }
 
-Status Schema::AddColumn(Column column) {
+Status Schema::AddColumn(ColumnDef column) {
   std::string key = AsciiToLower(column.name);
   if (index_.count(key)) {
     return Status::AlreadyExists("duplicate column '" + column.name + "'");

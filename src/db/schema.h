@@ -12,8 +12,9 @@
 
 namespace pb::db {
 
-/// One column: a name and a declared type. kNull means "untyped / any".
-struct Column {
+/// One column descriptor: a name and a declared type. kNull means
+/// "untyped / any". (The typed storage itself is db/column.h's Column.)
+struct ColumnDef {
   std::string name;
   ValueType type = ValueType::kNull;
 };
@@ -22,11 +23,11 @@ struct Column {
 class Schema {
  public:
   Schema() = default;
-  explicit Schema(std::vector<Column> columns);
+  explicit Schema(std::vector<ColumnDef> columns);
 
   size_t num_columns() const { return columns_.size(); }
-  const Column& column(size_t i) const { return columns_[i]; }
-  const std::vector<Column>& columns() const { return columns_; }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
 
   /// Index of a column by (case-insensitive) name.
   Result<size_t> IndexOf(const std::string& name) const;
@@ -34,7 +35,7 @@ class Schema {
   bool HasColumn(const std::string& name) const;
 
   /// Appends a column; fails if the name already exists.
-  Status AddColumn(Column column);
+  Status AddColumn(ColumnDef column);
 
   /// "name:TYPE, name:TYPE, ..."
   std::string ToString() const;
@@ -42,7 +43,7 @@ class Schema {
   bool operator==(const Schema& other) const;
 
  private:
-  std::vector<Column> columns_;
+  std::vector<ColumnDef> columns_;
   std::unordered_map<std::string, size_t> index_;  // lower-cased name -> index
 };
 

@@ -6,6 +6,22 @@
 
 namespace pb::db {
 
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.emplace_back(schema_.column(i).type);
+  }
+}
+
+Tuple Table::row(size_t i) const {
+  PB_DCHECK(i < num_rows_);
+  Tuple out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.GetValue(i));
+  return out;
+}
+
 Status Table::Append(Tuple row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
@@ -17,11 +33,8 @@ Status Table::Append(Tuple row) {
     ValueType declared = schema_.column(i).type;
     if (declared == ValueType::kNull || row[i].is_null()) continue;
     if (row[i].type() == declared) continue;
-    // Widen INT into DOUBLE columns.
-    if (declared == ValueType::kDouble && row[i].is_int()) {
-      row[i] = Value::Double(static_cast<double>(row[i].AsInt()));
-      continue;
-    }
+    // INT widens into DOUBLE columns (the storage handles the conversion).
+    if (declared == ValueType::kDouble && row[i].is_int()) continue;
     return Status::TypeError(
         "column '" + schema_.column(i).name + "' of table '" + name_ +
         "' expects " + ValueTypeToString(declared) + ", got " +
@@ -33,32 +46,112 @@ Status Table::Append(Tuple row) {
 
 void Table::AppendUnchecked(Tuple row) {
   PB_DCHECK(row.size() == schema_.num_columns());
-  UpdateStats(row);
-  rows_.push_back(std::move(row));
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].AppendValue(row[i]);
+  }
+  ++num_rows_;
 }
 
-void Table::UpdateStats(const Tuple& row) {
-  for (size_t i = 0; i < row.size(); ++i) {
-    ColumnStats& s = stats_[i];
-    const Value& v = row[i];
-    if (v.is_null()) {
-      ++s.null_count;
-      continue;
-    }
-    ++s.non_null_count;
-    if (v.is_numeric()) {
-      double d = v.is_int() ? static_cast<double>(v.AsInt())
-                            : v.AsDoubleExact();
-      s.sum += d;
-      if (!s.min || d < *s.min) s.min = d;
-      if (!s.max || d > *s.max) s.max = d;
-    }
+void Table::AppendRowFrom(const Table& src, size_t src_row) {
+  PB_DCHECK(src_row < src.num_rows_);
+  PB_DCHECK(src.columns_.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendFrom(src.columns_[i], src_row);
   }
+  ++num_rows_;
 }
+
+void Table::Reserve(size_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+Result<NumericColumnView> Table::NumericView(size_t column) const {
+  if (column >= columns_.size()) {
+    return Status::OutOfRange("column index " + std::to_string(column) +
+                              " out of range for table '" + name_ + "'");
+  }
+  if (!columns_[column].numeric_storage()) {
+    return Status::TypeError(
+        "column '" + schema_.column(column).name + "' of table '" + name_ +
+        "' has " + ValueTypeToString(columns_[column].storage_type()) +
+        " storage, not numeric");
+  }
+  return columns_[column].NumericView();
+}
+
+Result<NumericColumnView> Table::NumericView(const std::string& column) const {
+  PB_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(column));
+  return NumericView(idx);
+}
+
+Result<Table> Table::SelectColumns(const std::vector<size_t>& indices,
+                                   const std::string& result_name) const {
+  Schema out_schema;
+  for (size_t idx : indices) {
+    if (idx >= columns_.size()) {
+      return Status::OutOfRange("column index " + std::to_string(idx) +
+                                " out of range for table '" + name_ + "'");
+    }
+    PB_RETURN_IF_ERROR(out_schema.AddColumn(schema_.column(idx)));
+  }
+  Table out(result_name, std::move(out_schema));
+  for (size_t k = 0; k < indices.size(); ++k) {
+    out.columns_[k] = columns_[indices[k]];
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+// ----- RowAppender ---------------------------------------------------------
+
+RowAppender& RowAppender::Null() {
+  PB_DCHECK(col_ < table_->columns_.size());
+  table_->columns_[col_++].AppendNull();
+  return *this;
+}
+
+RowAppender& RowAppender::Int(int64_t v) {
+  PB_DCHECK(col_ < table_->columns_.size());
+  table_->columns_[col_++].AppendInt(v);
+  return *this;
+}
+
+RowAppender& RowAppender::Double(double v) {
+  PB_DCHECK(col_ < table_->columns_.size());
+  table_->columns_[col_++].AppendDouble(v);
+  return *this;
+}
+
+RowAppender& RowAppender::Bool(bool v) {
+  PB_DCHECK(col_ < table_->columns_.size());
+  table_->columns_[col_++].AppendBool(v);
+  return *this;
+}
+
+RowAppender& RowAppender::String(std::string v) {
+  PB_DCHECK(col_ < table_->columns_.size());
+  table_->columns_[col_++].AppendString(std::move(v));
+  return *this;
+}
+
+RowAppender& RowAppender::Value(const class Value& v) {
+  PB_DCHECK(col_ < table_->columns_.size());
+  table_->columns_[col_++].AppendValue(v);
+  return *this;
+}
+
+void RowAppender::Finish() {
+  PB_DCHECK(col_ == table_->columns_.size())
+      << "row committed with " << col_ << " of " << table_->columns_.size()
+      << " cells";
+  ++table_->num_rows_;
+}
+
+// ----- Rendering -----------------------------------------------------------
 
 std::string Table::ToString(size_t max_rows) const {
   // Compute column widths over the header and shown rows.
-  size_t shown = std::min(max_rows, rows_.size());
+  size_t shown = std::min(max_rows, num_rows_);
   std::vector<size_t> width(schema_.num_columns());
   std::vector<std::vector<std::string>> cells(shown);
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
@@ -67,14 +160,14 @@ std::string Table::ToString(size_t max_rows) const {
   for (size_t r = 0; r < shown; ++r) {
     cells[r].resize(schema_.num_columns());
     for (size_t c = 0; c < schema_.num_columns(); ++c) {
-      cells[r][c] = rows_[r][c].ToString();
+      cells[r][c] = columns_[c].GetValue(r).ToString();
       width[c] = std::max(width[c], cells[r][c].size());
     }
   }
   auto pad = [](const std::string& s, size_t w) {
     return s + std::string(w - s.size(), ' ');
   };
-  std::string out = name_ + " (" + std::to_string(rows_.size()) + " rows)\n";
+  std::string out = name_ + " (" + std::to_string(num_rows_) + " rows)\n";
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
     out += (c ? " | " : "") + pad(schema_.column(c).name, width[c]);
   }
@@ -89,8 +182,8 @@ std::string Table::ToString(size_t max_rows) const {
     }
     out += "\n";
   }
-  if (shown < rows_.size()) {
-    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  if (shown < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - shown) + " more rows)\n";
   }
   return out;
 }

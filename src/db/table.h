@@ -1,4 +1,10 @@
-// Table: an in-memory row-store relation with per-column statistics.
+// Table: an in-memory columnar relation with per-column statistics.
+//
+// Storage is column-major: one typed Column (contiguous vector + null
+// bitmap, see db/column.h) per schema attribute. Numeric consumers read
+// whole columns through NumericView() in one contiguous pass; row-oriented
+// call sites keep working through the compatibility adapters row()/rows()/
+// at(), which materialize Values on demand.
 //
 // The statistics (count / min / max / sum over non-null numeric cells) are
 // exactly what the cardinality-based pruning of §4.1 needs: the bounds
@@ -8,71 +14,179 @@
 #ifndef PB_DB_TABLE_H_
 #define PB_DB_TABLE_H_
 
+#include <cstddef>
+#include <iterator>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "db/column.h"
 #include "db/schema.h"
 #include "db/tuple.h"
 
 namespace pb::db {
 
-/// Aggregate statistics for one column, maintained incrementally on append.
-struct ColumnStats {
-  int64_t non_null_count = 0;
-  int64_t null_count = 0;
-  // Numeric-only accumulators; unset if the column has no numeric values.
-  std::optional<double> min;
-  std::optional<double> max;
-  double sum = 0.0;
+class Table;
 
-  double mean() const {
-    return non_null_count > 0 ? sum / static_cast<double>(non_null_count) : 0.0;
-  }
+/// Lazily-materializing view of a table's rows: the compatibility adapter
+/// that lets row-oriented loops (`for (const Tuple& row : table.rows())`)
+/// keep working over columnar storage. Dereferencing builds the Tuple.
+class RowRange {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Tuple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Tuple*;
+    using reference = Tuple;
+
+    iterator(const Table* table, size_t i) : table_(table), i_(i) {}
+    Tuple operator*() const;
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const Table* table_;
+    size_t i_;
+  };
+
+  explicit RowRange(const Table* table) : table_(table) {}
+  iterator begin() const { return iterator(table_, 0); }
+  iterator end() const;
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  Tuple operator[](size_t i) const;
+
+ private:
+  const Table* table_;
 };
 
-/// A named relation: schema + rows + stats.
+/// Column-wise single-row appender: generators push typed values straight
+/// into the column vectors, skipping Tuple/Value materialization entirely.
+///
+///   table.StartRow().Int(id).Double(price).String("air").Finish();
+///
+/// Exactly num_columns() cells must be appended before Finish(). Int()
+/// widens into DOUBLE columns like Table::Append does.
+class RowAppender {
+ public:
+  RowAppender& Null();
+  RowAppender& Int(int64_t v);
+  RowAppender& Double(double v);
+  RowAppender& Bool(bool v);
+  RowAppender& String(std::string v);
+  RowAppender& Value(const class Value& v);
+
+  /// Commits the row; arity is asserted.
+  void Finish();
+
+ private:
+  friend class Table;
+  explicit RowAppender(Table* table) : table_(table) {}
+
+  Table* table_;
+  size_t col_ = 0;
+};
+
+/// A named relation: schema + typed columns + stats.
 class Table {
  public:
   Table() = default;
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)),
-        stats_(schema_.num_columns()) {}
+  Table(std::string name, Schema schema);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return num_rows_; }
 
-  const Tuple& row(size_t i) const { return rows_[i]; }
-  const std::vector<Tuple>& rows() const { return rows_; }
+  // ----- Row-view compatibility adapters -----------------------------------
+
+  /// Materializes row `i` as a Tuple (copies every cell).
+  Tuple row(size_t i) const;
+
+  /// Iterable row view; each dereference materializes one Tuple.
+  RowRange rows() const { return RowRange(this); }
+
+  /// Value at (row, column), materialized from the column — returned by
+  /// value, so chaining a reference out of it (e.g. binding AsString() to a
+  /// long-lived const std::string&) is a lifetime bug. Bounds-checked in
+  /// debug builds.
+  Value at(size_t row, size_t column) const {
+    PB_DCHECK(row < num_rows_)
+        << "row " << row << " out of range (" << num_rows_ << " rows)";
+    PB_DCHECK(column < columns_.size())
+        << "column " << column << " out of range (" << columns_.size()
+        << " columns)";
+    return columns_[column].GetValue(row);
+  }
+
+  // ----- Appends -----------------------------------------------------------
 
   /// Appends a row after checking arity and (loose) type compatibility:
   /// NULL fits anywhere; INT fits a DOUBLE column (and is widened).
   Status Append(Tuple row);
 
-  /// Appends without checks (hot path for generators). Arity must match.
+  /// Appends without checks (compatibility hot path). Arity must match;
+  /// cells must fit their column's storage (NULL anywhere, INT→DOUBLE ok).
   void AppendUnchecked(Tuple row);
 
-  /// Column statistics; index must be valid.
-  const ColumnStats& stats(size_t column) const { return stats_[column]; }
+  /// Column-wise typed appender — the fastest way to build a table.
+  RowAppender StartRow() { return RowAppender(this); }
 
-  /// Value at (row, column) — bounds-checked in debug builds only.
-  const Value& at(size_t row, size_t column) const {
-    return rows_[row][column];
+  /// Copies row `src_row` of `src` (same schema layout) column-wise.
+  void AppendRowFrom(const Table& src, size_t src_row);
+
+  /// Reserves capacity in every column.
+  void Reserve(size_t n);
+
+  // ----- Columnar access ---------------------------------------------------
+
+  /// Typed storage of one column; index must be valid.
+  const Column& column_data(size_t column) const {
+    PB_DCHECK(column < columns_.size());
+    return columns_[column];
   }
+
+  /// Contiguous span + null mask over a numeric (INT/DOUBLE) column.
+  Result<NumericColumnView> NumericView(size_t column) const;
+  Result<NumericColumnView> NumericView(const std::string& column) const;
+
+  /// Column statistics; index must be valid.
+  const ColumnStats& stats(size_t column) const {
+    PB_DCHECK(column < columns_.size());
+    return columns_[column].stats();
+  }
+
+  /// New table with the given columns of this one (column vectors copied
+  /// wholesale — no per-row work). Fails on an out-of-range index or a
+  /// duplicated column name.
+  Result<Table> SelectColumns(const std::vector<size_t>& indices,
+                              const std::string& result_name) const;
 
   /// Renders the first `max_rows` rows as an aligned text table.
   std::string ToString(size_t max_rows = 20) const;
 
  private:
-  void UpdateStats(const Tuple& row);
+  friend class RowAppender;
 
   std::string name_;
   Schema schema_;
-  std::vector<Tuple> rows_;
-  std::vector<ColumnStats> stats_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
 };
+
+inline RowRange::iterator RowRange::end() const {
+  return iterator(table_, table_->num_rows());
+}
+inline size_t RowRange::size() const { return table_->num_rows(); }
+inline Tuple RowRange::operator[](size_t i) const { return table_->row(i); }
+inline Tuple RowRange::iterator::operator*() const { return table_->row(i_); }
 
 }  // namespace pb::db
 

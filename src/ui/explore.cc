@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "core/local_search.h"
 #include "core/translator.h"
@@ -141,9 +142,11 @@ Result<std::vector<Suggestion>> ExplorationSession::InferConstraints() const {
     double mn = kInf, mx = -kInf;
     bool numeric = true;
     bool string_common = true;
-    const db::Value* common = nullptr;
+    // at() returns a materialized Value, so the common string is kept by
+    // value rather than by pointer into the table.
+    std::optional<db::Value> common;
     for (size_t row : locked_) {
-      const db::Value& v = table.at(row, c);
+      const db::Value v = table.at(row, c);
       if (v.is_numeric()) {
         double d = v.is_int() ? static_cast<double>(v.AsInt())
                               : v.AsDoubleExact();
@@ -153,7 +156,7 @@ Result<std::vector<Suggestion>> ExplorationSession::InferConstraints() const {
       } else if (v.is_string()) {
         numeric = false;
         if (!common) {
-          common = &v;
+          common = v;
         } else if (common->Compare(v) != 0) {
           string_common = false;
         }

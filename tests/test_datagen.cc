@@ -116,7 +116,7 @@ TEST(TravelTest, IndicatorColumnsConsistent) {
     int64_t h = t.at(r, is_h).AsInt();
     int64_t c = t.at(r, is_c).AsInt();
     EXPECT_EQ(f + h + c, 1) << "exactly one kind per item";
-    const std::string& k = t.at(r, kind).AsString();
+    const std::string k = t.at(r, kind).AsString();
     EXPECT_EQ(f == 1, k == "flight");
     EXPECT_EQ(h == 1, k == "hotel");
     if (h == 0) {
