@@ -149,6 +149,46 @@ void BM_RefineThreads(benchmark::State& state) {
 BENCHMARK(BM_RefineThreads)->Arg(1)->Arg(2)->Arg(4)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// Warm-vs-cold solver ablation on a BM_RefineThreads-class workload: cold
+// re-solves every branch-and-bound node's LP from the slack basis; warm
+// inherits the parent basis at each node, chains bases through the dive
+// heuristic, and reuses per-group root bases + pseudocost history across
+// the refine/repair sub-ILP sequence. Every sub-ILP runs to proven
+// optimality (no node budget), so both variants solve the identical model
+// sequence and produce bit-identical packages — lp_iterations is a clean
+// substrate-cost comparison (the ISSUE's >=2x acceptance bar).
+void BM_RefineWarmStart(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  pb::db::Catalog catalog;
+  catalog.RegisterOrReplace(pb::datagen::GenerateLineitems(20000, 5));
+  auto aq = pb::paql::ParseAndAnalyze(kTightQuery, catalog);
+  if (!aq.ok()) {
+    state.SkipWithError(aq.status().ToString().c_str());
+    return;
+  }
+  SketchRefineOptions opts;
+  opts.partition_size = 256;
+  opts.milp.time_limit_s = 120.0;
+  opts.milp.warm_start_lps = warm;
+  double objective = 0, lp_iters = 0, ilps = 0;
+  for (auto _ : state) {
+    auto r = SketchRefine(*aq, opts);
+    if (!r.ok() || !r->found) {
+      state.SkipWithError("sketch-refine failed");
+      return;
+    }
+    objective = r->objective;
+    lp_iters = static_cast<double>(r->lp_iterations);
+    ilps = static_cast<double>(r->refine_ilps_solved);
+  }
+  state.SetLabel(warm ? "warm" : "cold");
+  state.counters["objective"] = objective;
+  state.counters["lp_iterations"] = lp_iters;
+  state.counters["refine_ilps"] = ilps;
+}
+BENCHMARK(BM_RefineWarmStart)->Arg(0)->Arg(1)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
 void BM_PartitionSizeSweep(benchmark::State& state) {
   const size_t tau = static_cast<size_t>(state.range(0));
   pb::db::Catalog catalog;

@@ -21,21 +21,24 @@ using pb::solver::MilpOptions;
 using pb::solver::ObjectiveSense;
 using pb::solver::SimplexOptions;
 
-/// A package-shaped LP: n binary-relaxed columns, a handful of rows.
-LpModel PackageShapedLp(int n, uint64_t seed) {
+/// A package-shaped LP/ILP: n binary(-relaxed) columns, a handful of rows.
+/// `shift` drifts the constraint ranges without changing the structure —
+/// the SketchRefine-repair re-solve pattern the cross-solve bench uses.
+LpModel PackageShapedLp(int n, uint64_t seed, bool integer = false,
+                        double shift = 0.0) {
   pb::Rng rng(seed);
   LpModel m;
   std::vector<LinearTerm> count, weight, cost;
   for (int j = 0; j < n; ++j) {
     m.AddVariable("x" + std::to_string(j), 0, 1,
-                  rng.UniformReal(1.0, 100.0), false);
+                  rng.UniformReal(1.0, 100.0), integer);
     count.push_back({j, 1.0});
     weight.push_back({j, rng.UniformReal(100.0, 900.0)});
     cost.push_back({j, rng.UniformReal(1.0, 50.0)});
   }
   m.AddConstraint("count", count, 5, 5);
-  m.AddConstraint("weight", weight, 2000, 2600);
-  m.AddConstraint("cost", cost, -kInfinity, 120);
+  m.AddConstraint("weight", weight, 2000 + shift, 2600 + shift);
+  m.AddConstraint("cost", cost, -kInfinity, 120 + shift / 100.0);
   m.SetSense(ObjectiveSense::kMaximize);
   return m;
 }
@@ -109,6 +112,83 @@ void BM_MilpKnapsack(benchmark::State& state) {
   state.counters["bnb_nodes"] = nodes;
 }
 BENCHMARK(BM_MilpKnapsack)->Arg(20)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// Warm-vs-cold ablation on a package-shaped ILP (tight two-sided windows:
+// real branch-and-bound work). Warm inherits each child's basis from its
+// parent and prices branches with pseudocost history; cold re-solves every
+// node from the slack basis — the pre-warm-start behavior. Same model, same
+// optimum (asserted); the iterations counter is the comparison.
+void BM_MilpWarmStartAblation(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  pb::Rng rng(17);
+  LpModel m;
+  std::vector<LinearTerm> count, weight, price;
+  for (int j = 0; j < 400; ++j) {
+    m.AddVariable("x" + std::to_string(j), 0, 1,
+                  rng.UniformReal(1.0, 100.0), true);
+    count.push_back({j, 1.0});
+    weight.push_back({j, rng.UniformReal(100.0, 900.0)});
+    price.push_back({j, rng.UniformReal(1.0, 50.0)});
+  }
+  m.AddConstraint("count", count, 8, 8);
+  m.AddConstraint("weight", weight, 3600, 3700);
+  m.AddConstraint("price", price, 120, 160);
+  m.SetSense(ObjectiveSense::kMaximize);
+  double iters = 0, nodes = 0, objective = 0;
+  for (auto _ : state) {
+    MilpOptions opts;
+    opts.warm_start_lps = warm;
+    opts.max_nodes = 20000;
+    opts.time_limit_s = 60.0;
+    auto r = pb::solver::SolveMilp(m, opts);
+    if (!r.ok() || !r->has_solution()) {
+      state.SkipWithError("MILP failed");
+      return;
+    }
+    iters = static_cast<double>(r->lp_iterations);
+    nodes = static_cast<double>(r->nodes);
+    objective = r->objective;
+  }
+  state.SetLabel(warm ? "warm" : "cold");
+  state.counters["lp_iterations"] = iters;
+  state.counters["bnb_nodes"] = nodes;
+  state.counters["objective"] = objective;
+}
+BENCHMARK(BM_MilpWarmStartAblation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Cross-solve reuse: one MilpWarmStart threaded through a sequence of
+// structurally identical solves whose constraint ranges drift (the
+// SketchRefine repair pattern). The second and later solves start from the
+// first solve's root basis and branching history.
+void BM_MilpCrossSolveReuse(benchmark::State& state) {
+  const bool reuse = state.range(0) != 0;
+  double iters = 0;
+  for (auto _ : state) {
+    pb::solver::MilpWarmStart warm;
+    int64_t total = 0;
+    // Same structure each solve, drifting ranges — exactly what the
+    // SketchRefine repair pass re-solves after residual drift.
+    for (int shift = 0; shift < 8; ++shift) {
+      LpModel m =
+          PackageShapedLp(1000, 29, /*integer=*/true, /*shift=*/10.0 * shift);
+      MilpOptions opts;
+      opts.warm = reuse ? &warm : nullptr;
+      opts.max_nodes = 4000;
+      auto r = pb::solver::SolveMilp(m, opts);
+      if (!r.ok()) {
+        state.SkipWithError("MILP failed");
+        return;
+      }
+      total += r->lp_iterations;
+    }
+    iters = static_cast<double>(total);
+  }
+  state.SetLabel(reuse ? "reuse" : "independent");
+  state.counters["lp_iterations"] = iters;
+}
+BENCHMARK(BM_MilpCrossSolveReuse)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_MilpRoundingHeuristicAblation(benchmark::State& state) {

@@ -89,7 +89,11 @@ int main() {
 
   // ---- The package-space summary (§3.2) over enumerated packages.
   std::printf("\n-- Package space (found so far) --\n");
-  auto packages = pb::core::EnumerateViaSolver(*aq, [&]{ pb::core::EnumerateOptions o; o.max_packages = 30; return o; }());
+  auto packages = pb::core::EnumerateViaSolver(*aq, [&] {
+    pb::core::EnumerateOptions o;
+    o.max_packages = 30;
+    return o;
+  }());
   if (!packages.ok()) Fail(packages.status());
   auto summary = pb::ui::SummarizePackageSpace(*aq, *packages);
   if (!summary.ok()) Fail(summary.status());

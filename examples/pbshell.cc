@@ -157,9 +157,12 @@ anything else ending in ';' is evaluated as a PaQL query.
       std::printf("%s\n", aq.status().ToString().c_str());
       return;
     }
-    auto packages =
-        diverse ? pb::core::EnumerateDiverse(*aq, k)
-                : pb::core::EnumerateViaSolver(*aq, [&]{ pb::core::EnumerateOptions o; o.max_packages = k; return o; }());
+    auto packages = diverse ? pb::core::EnumerateDiverse(*aq, k)
+                            : pb::core::EnumerateViaSolver(*aq, [&] {
+                                pb::core::EnumerateOptions o;
+                                o.max_packages = k;
+                                return o;
+                              }());
     if (!packages.ok()) {
       std::printf("%s\n", packages.status().ToString().c_str());
       return;

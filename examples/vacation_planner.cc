@@ -72,7 +72,8 @@ int main() {
   if (beach_v.ok() && car_v.ok()) {
     std::printf("beach distance total: %s km, rental cars: %s -> %s\n",
                 beach_v->ToString().c_str(), car_v->ToString().c_str(),
-                car_v->is_numeric() && car_v->Compare(pb::db::Value::Int(1)) >= 0
+                car_v->is_numeric() &&
+                        car_v->Compare(pb::db::Value::Int(1)) >= 0
                     ? "farther stay is fine (car included)"
                     : "walking distance to the beach");
   }

@@ -13,7 +13,13 @@
 
 namespace pb {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4
+};
 
 /// Sets the process-wide minimum level that is emitted.
 void SetLogLevel(LogLevel level);

@@ -92,8 +92,8 @@ class Enumerator {
     // "Exhausted" means the result is definitive: the tree was fully
     // explored, or a feasibility query was answered by its first valid
     // package. Budget stops and full collect buffers are not definitive.
-    out.exhausted =
-        stop_reason_ == StopReason::kNone || stop_reason_ == StopReason::kAnswered;
+    out.exhausted = stop_reason_ == StopReason::kNone ||
+                    stop_reason_ == StopReason::kAnswered;
     return out;
   }
 

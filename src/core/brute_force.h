@@ -51,8 +51,8 @@ struct BruteForceResult {
 };
 
 /// Runs the exhaustive search for `aq`.
-Result<BruteForceResult> BruteForceSearch(const paql::AnalyzedQuery& aq,
-                                          const BruteForceOptions& options = {});
+Result<BruteForceResult> BruteForceSearch(
+    const paql::AnalyzedQuery& aq, const BruteForceOptions& options = {});
 
 }  // namespace pb::core
 

@@ -89,11 +89,11 @@ class QueryEvaluator {
   /// (default 1), best-first when the query has an objective. Uses
   /// no-good-cut solver enumeration for translatable REPEAT-free queries
   /// and exhaustive collection otherwise. An empty vector means infeasible.
-  Result<std::vector<Package>> EvaluateAll(const paql::AnalyzedQuery& aq,
-                                           const EvaluationOptions& options = {});
+  Result<std::vector<Package>> EvaluateAll(
+      const paql::AnalyzedQuery& aq, const EvaluationOptions& options = {});
 
-  Result<std::vector<Package>> EvaluateAll(const std::string& paql,
-                                           const EvaluationOptions& options = {});
+  Result<std::vector<Package>> EvaluateAll(
+      const std::string& paql, const EvaluationOptions& options = {});
 
  private:
   const db::Catalog* catalog_;

@@ -40,8 +40,9 @@ std::string QueryPlan::ToString() const {
     out += "translated model:     " + std::to_string(model_variables) +
            " integer variables, " + std::to_string(model_rows) + " rows\n";
   }
-  out += "strategy:             " + std::string(StrategyToString(chosen_strategy)) +
-         " -- " + rationale + "\n";
+  out += "strategy:             " +
+         std::string(StrategyToString(chosen_strategy)) + " -- " + rationale +
+         "\n";
   return out;
 }
 

@@ -42,8 +42,12 @@ class SearchState {
       lo_[r] = lc.lo;
       hi_[r] = lc.hi;
       scale_[r] = 1.0;
-      if (std::isfinite(lc.lo)) scale_[r] = std::max(scale_[r], std::abs(lc.lo));
-      if (std::isfinite(lc.hi)) scale_[r] = std::max(scale_[r], std::abs(lc.hi));
+      if (std::isfinite(lc.lo)) {
+        scale_[r] = std::max(scale_[r], std::abs(lc.lo));
+      }
+      if (std::isfinite(lc.hi)) {
+        scale_[r] = std::max(scale_[r], std::abs(lc.hi));
+      }
       for (size_t i = 0; i < n_; ++i) {
         for (const paql::LinearAggTerm& t : lc.terms) {
           w_[r][i] += t.coeff * agg_w[t.agg_index][i];

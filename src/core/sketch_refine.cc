@@ -90,7 +90,8 @@ std::vector<std::vector<size_t>> PartitionCandidates(
   // Transpose the row-major input; the engine itself builds column-major
   // features directly and calls PartitionCandidatesColumnar.
   size_t dims = features[0].size();
-  std::vector<std::vector<double>> cols(dims, std::vector<double>(features.size()));
+  std::vector<std::vector<double>> cols(
+      dims, std::vector<double>(features.size()));
   for (size_t i = 0; i < features.size(); ++i) {
     for (size_t d = 0; d < dims; ++d) cols[d][i] = features[i][d];
   }
@@ -153,7 +154,9 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
   std::vector<double> obj_w(n, 0.0);
   if (aq.has_objective) {
     for (const paql::LinearAggTerm& t : aq.objective_terms) {
-      for (size_t i = 0; i < n; ++i) obj_w[i] += t.coeff * agg_w[t.agg_index][i];
+      for (size_t i = 0; i < n; ++i) {
+        obj_w[i] += t.coeff * agg_w[t.agg_index][i];
+      }
     }
   }
   const auto sense = aq.has_objective && !aq.maximize
@@ -213,6 +216,11 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
 
   // ---- Sketch (+ refine, with backtracking over excluded groups).
   std::vector<bool> excluded(groups.size(), false);
+  // Sketch-phase warm state, local so a caller-provided options.milp.warm
+  // is never consumed (and so clobbered) by SketchRefine's internal
+  // solves. A backtrack rebuilds the sketch with fewer variables, which
+  // the signature check detects and resets automatically.
+  solver::MilpWarmStart sketch_warm;
   for (int attempt = 0; attempt <= options.max_backtracks; ++attempt) {
     // Sketch model: one integer variable per (non-excluded) group.
     phase_timer.Restart();
@@ -238,8 +246,11 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     }
     if (sketch.num_variables() == 0) break;
     out.sketch_variables = sketch.num_variables();
+    solver::MilpOptions sketch_milp = options.milp;
+    sketch_milp.warm = &sketch_warm;
     PB_ASSIGN_OR_RETURN(solver::MilpResult sk,
-                        solver::SolveMilp(sketch, options.milp));
+                        solver::SolveMilp(sketch, sketch_milp));
+    out.lp_iterations += sk.lp_iterations;
     out.sketch_seconds += phase_timer.ElapsedSeconds();
     if (!sk.has_solution()) break;  // sketch infeasible: give up
 
@@ -303,6 +314,11 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       std::vector<double> others;  // per-row contribution of everyone else
       solver::LpModel model;
       solver::MilpResult solution;
+      /// Task-local solver warm-start state (root basis + pseudocosts),
+      /// written by this task's solve and re-seeded into the repair pass's
+      /// re-solve of the same group — the models are structurally
+      /// identical, only the residual ranges move.
+      solver::MilpWarmStart warm;
       Status status = Status::OK();
     };
     // Per-row activity of the whole sketch state; each task's residual is
@@ -326,8 +342,13 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     }
     out.refine_ilps_solved += static_cast<int64_t>(tasks.size());
     auto solve_task = [&](RefineTask& task) {
-      Result<solver::MilpResult> sr =
-          solver::SolveMilp(task.model, options.milp);
+      // Each task owns its warm-start state: safe under the thread pool
+      // (no sharing) and deterministic (state depends only on the task's
+      // own solves). A caller-provided options.milp.warm would be shared
+      // across concurrent tasks, so it is always overridden here.
+      solver::MilpOptions task_milp = options.milp;
+      task_milp.warm = &task.warm;
+      Result<solver::MilpResult> sr = solver::SolveMilp(task.model, task_milp);
       if (sr.ok()) {
         task.solution = std::move(sr).value();
       } else {
@@ -345,7 +366,10 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       }
       pool.Wait();
     }
-    for (const RefineTask& task : tasks) PB_RETURN_IF_ERROR(task.status);
+    for (const RefineTask& task : tasks) {
+      PB_RETURN_IF_ERROR(task.status);
+      out.lp_iterations += task.solution.lp_iterations;
+    }
 
     // Deterministic merge in refine order. The merged package stands only
     // if every group solved and the result validates.
@@ -400,8 +424,14 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
         solver::MilpResult fresh;
         if (others != tasks[t].others) {
           ++out.refine_ilps_solved;
+          // Same group, same model structure, shifted residual ranges: the
+          // task's cached root basis and pseudocost history carry over
+          // (sequential pass, so borrowing the task's warm state is safe).
+          solver::MilpOptions repair_milp = options.milp;
+          repair_milp.warm = &tasks[t].warm;
           PB_ASSIGN_OR_RETURN(
-              fresh, solver::SolveMilp(build_sub(g, others), options.milp));
+              fresh, solver::SolveMilp(build_sub(g, others), repair_milp));
+          out.lp_iterations += fresh.lp_iterations;
           sol = &fresh;
         }
         if (!sol->has_solution()) {

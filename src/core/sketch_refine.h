@@ -27,6 +27,13 @@
 //            hits MilpOptions::time_limit_s mid-search — prefer node
 //            budgets when exact reproducibility matters).
 //
+// The refine/repair sub-ILP sequence re-solves structurally identical
+// models per group (the repair pass shifts only constraint ranges), so each
+// group's solver warm-start state — root LP basis plus pseudocost branching
+// history — is cached from the parallel pass and re-seeded into that
+// group's repair solve. Reuse is task-local and consumed in deterministic
+// repair order, so thread-count invariance is preserved.
+//
 // The result is validated against the original query; approximation shows
 // up only in the objective value, which the E6 bench compares to Direct.
 
@@ -69,6 +76,9 @@ struct SketchRefineResult {
   /// feasibility (0 when the independent solves merged cleanly).
   int repair_passes = 0;
   int64_t refine_ilps_solved = 0;
+  /// Total simplex iterations across every MILP solved (sketch, refine,
+  /// repair) — the substrate-cost metric the warm-start benchmarks compare.
+  int64_t lp_iterations = 0;
   double partition_seconds = 0.0;
   double sketch_seconds = 0.0;
   double refine_seconds = 0.0;

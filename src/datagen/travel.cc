@@ -45,7 +45,8 @@ db::Table GenerateTravelItems(size_t n, uint64_t seed,
       kind = "hotel";
       // Price per stay (multi-night bundle). Beach distance correlates
       // inversely with price: beachfront costs more.
-      beach_km = RoundTo(ClampedLogNormal(rng, std::log(1.2), 1.0, 0.05, 25), 2);
+      beach_km =
+          RoundTo(ClampedLogNormal(rng, std::log(1.2), 1.0, 0.05, 25), 2);
       double base = 900.0 / (1.0 + beach_km);
       price = RoundTo(ClampedNormal(rng, 280 + base, 140, 60, 2600), 2);
       comfort = RoundTo(ClampedNormal(rng, 3.8, 0.7, 1, 5), 1);

@@ -167,7 +167,8 @@ int Column::Compare(size_t a, size_t b) const {
     case ValueType::kInt:
       return ints_[a] < ints_[b] ? -1 : (ints_[a] > ints_[b] ? 1 : 0);
     case ValueType::kDouble:
-      return doubles_[a] < doubles_[b] ? -1 : (doubles_[a] > doubles_[b] ? 1 : 0);
+      return doubles_[a] < doubles_[b] ? -1
+                                       : (doubles_[a] > doubles_[b] ? 1 : 0);
     case ValueType::kBool:
       return bools_[a] < bools_[b] ? -1 : (bools_[a] > bools_[b] ? 1 : 0);
     case ValueType::kString: {

@@ -311,10 +311,12 @@ std::string Expr::ToString() const {
       return l + " " + BinaryOpToString(binary_op) + " " + r;
     }
     case ExprKind::kBetween:
-      return children[0]->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+      return children[0]->ToString() +
+             (negated ? " NOT BETWEEN " : " BETWEEN ") +
              children[1]->ToString() + " AND " + children[2]->ToString();
     case ExprKind::kIn: {
-      std::string out = children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      std::string out =
+          children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
       for (size_t i = 0; i < in_list.size(); ++i) {
         if (i > 0) out += ", ";
         out += in_list[i].ToSqlLiteral();

@@ -328,7 +328,8 @@ Result<Table> GroupBy(const Table& table, const std::string& group_column,
     }
   }
   const Column& gcol = table.column_data(gidx);
-  // Group rows (std::map gives deterministic output order via Value::operator<).
+  // Group rows (std::map gives deterministic output order via
+  // Value::operator<).
   std::map<Value, std::vector<AggAccumulator>> groups;
   for (size_t r = 0; r < table.num_rows(); ++r) {
     Value key = gcol.GetValue(r);

@@ -160,10 +160,26 @@ Result<std::vector<Token>> Lex(std::string_view input) {
     auto two = [&](char a, char b) {
       return c == a && i + 1 < input.size() && input[i + 1] == b;
     };
-    if (two('<', '=')) { tokens.push_back(make(TokenKind::kLe, start)); i += 2; continue; }
-    if (two('>', '=')) { tokens.push_back(make(TokenKind::kGe, start)); i += 2; continue; }
-    if (two('<', '>')) { tokens.push_back(make(TokenKind::kNe, start)); i += 2; continue; }
-    if (two('!', '=')) { tokens.push_back(make(TokenKind::kNe, start)); i += 2; continue; }
+    if (two('<', '=')) {
+      tokens.push_back(make(TokenKind::kLe, start));
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      tokens.push_back(make(TokenKind::kGe, start));
+      i += 2;
+      continue;
+    }
+    if (two('<', '>')) {
+      tokens.push_back(make(TokenKind::kNe, start));
+      i += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      tokens.push_back(make(TokenKind::kNe, start));
+      i += 2;
+      continue;
+    }
     switch (c) {
       case '(': tokens.push_back(make(TokenKind::kLParen, start)); break;
       case ')': tokens.push_back(make(TokenKind::kRParen, start)); break;

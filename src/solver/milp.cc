@@ -20,13 +20,35 @@ const char* MilpStatusToString(MilpStatus s) {
   return "?";
 }
 
+int MostFractionalVariable(const LpModel& model, const std::vector<double>& x,
+                           double int_tol) {
+  int best = -1;
+  double best_dist = kInfinity;  // distance of the fractional part to 1/2
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).is_integer) continue;
+    double frac = std::abs(x[j] - std::round(x[j]));
+    if (frac <= int_tol) continue;
+    double dist_half = std::abs(frac - 0.5);
+    if (dist_half < best_dist) {
+      best_dist = dist_half;
+      best = j;
+    }
+  }
+  return best;
+}
+
 namespace {
 
 using Bounds = std::vector<std::pair<double, double>>;
 
 struct Node {
   Bounds bounds;
-  double bound;  // parent LP objective (optimistic bound for this node)
+  double bound;      // parent LP objective (optimistic bound for this node)
+  LpBasis basis;     // parent's optimal basis (empty = cold start)
+  int branch_var = -1;      // variable branched on to create this node
+  double branch_frac = 0.0; // fractional part of the parent's LP value
+  bool branch_up = false;   // ceil side (vs floor side)
+  int lp_limit_boost = 0;   // times the LP iteration limit was doubled
 };
 
 /// Best-first: larger is better for max problems, smaller for min.
@@ -37,22 +59,39 @@ struct NodeOrder {
   }
 };
 
-/// Index of the most fractional integer variable, or -1 if integral.
-int MostFractional(const LpModel& model, const std::vector<double>& x,
-                   double int_tol) {
+/// Branch-variable selection: pseudocost scoring once any history exists,
+/// the caller's most-fractional pick (`fallback`) before that. The score
+/// is the product of the estimated objective degradations of the two
+/// children (the standard product rule); variables without observations on
+/// a side borrow the global average (O(1) from the history's running
+/// aggregates). Fully deterministic: ties break to the lowest index via
+/// strict >.
+int SelectBranchVariable(const LpModel& model, const std::vector<double>& x,
+                         double int_tol, const PseudocostHistory& pc,
+                         int fallback) {
+  if (pc.entries.size() != static_cast<size_t>(model.num_variables()) ||
+      !pc.has_observations()) {
+    return fallback;
+  }
+  double global_down =
+      pc.down_n_all > 0 ? pc.down_sum_all / pc.down_n_all : 1.0;
+  double global_up = pc.up_n_all > 0 ? pc.up_sum_all / pc.up_n_all : 1.0;
+
   int best = -1;
-  double best_frac = int_tol;
+  double best_score = -1.0;
+  constexpr double kEps = 1e-9;
   for (int j = 0; j < model.num_variables(); ++j) {
     if (!model.variable(j).is_integer) continue;
-    double frac = std::abs(x[j] - std::round(x[j]));
-    if (frac > best_frac) {
-      // Prefer the variable closest to 0.5 fractionality.
-      double dist_half = std::abs(frac - 0.5);
-      if (best < 0 ||
-          dist_half < std::abs(std::abs(x[best] - std::round(x[best])) - 0.5)) {
-        best = j;
-      }
-      best_frac = std::max(best_frac, int_tol);
+    double frac = x[j] - std::floor(x[j]);
+    if (frac <= int_tol || frac >= 1.0 - int_tol) continue;
+    const PseudocostHistory::Entry& e = pc.entries[j];
+    double down = e.down_n > 0 ? e.down_sum / e.down_n : global_down;
+    double up = e.up_n > 0 ? e.up_sum / e.up_n : global_up;
+    double score =
+        std::max(down * frac, kEps) * std::max(up * (1.0 - frac), kEps);
+    if (score > best_score) {
+      best_score = score;
+      best = j;
     }
   }
   return best;
@@ -76,17 +115,25 @@ bool TryRound(const LpModel& model, const Bounds& bounds,
 /// Diving heuristic: repeatedly fixes the most fractional integer variable
 /// to its nearest integer and re-solves the LP. Package models (equality
 /// COUNT rows) rarely round feasibly, but they dive very well — this is how
-/// the solver finds its first incumbent without exploring the tree.
+/// the solver finds its first incumbent without exploring the tree. When
+/// `seed` is non-null the caller's basis starts the chain (the first dive
+/// LP is exactly the caller's LP, so it prices out immediately) and each
+/// step's basis warm-starts the next.
 /// Returns true with an integer-feasible point in *out on success.
 bool TryDive(const LpModel& model, Bounds bounds, const SimplexOptions& lp_opts,
-             double int_tol, int64_t* lp_iterations,
+             double int_tol, const LpBasis* seed, int64_t* lp_iterations,
              std::vector<double>* out) {
   constexpr int kMaxDepth = 400;
+  const bool warm = seed != nullptr;
+  LpBasis chain;
+  if (warm) chain = *seed;
   for (int depth = 0; depth < kMaxDepth; ++depth) {
-    auto lp = SolveLp(model, lp_opts, &bounds);
-    if (!lp.ok() || lp->status != LpStatus::kOptimal) return false;
+    auto lp = SolveLp(model, lp_opts, &bounds, warm ? &chain : nullptr);
+    if (!lp.ok()) return false;
     *lp_iterations += lp->iterations;
-    int j = MostFractional(model, lp->x, int_tol);
+    if (lp->status != LpStatus::kOptimal) return false;
+    if (warm) chain = std::move(lp->basis);
+    int j = MostFractionalVariable(model, lp->x, int_tol);
     if (j < 0) {
       *out = lp->x;
       for (int v = 0; v < model.num_variables(); ++v) {
@@ -112,9 +159,29 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
   };
 
   MilpResult result;
+  const int n = model.num_variables();
 
-  Bounds root_bounds(model.num_variables());
-  for (int j = 0; j < model.num_variables(); ++j) {
+  // warm_start_lps=false is the faithful pre-warm-start ablation: cold LP
+  // solves, most-fractional branching, and no cross-solve state at all.
+  const bool warm_enabled = options.warm_start_lps;
+
+  // Cross-solve warm-start state: usable only while the model's structure
+  // matches what the state was learned on; reset otherwise.
+  MilpWarmStart* warm = warm_enabled ? options.warm : nullptr;
+  if (warm != nullptr) {
+    uint64_t sig = model.StructuralSignature();
+    if (warm->model_signature != sig) {
+      warm->root_basis.clear();
+      warm->pseudocosts = PseudocostHistory{};
+      warm->model_signature = sig;
+    }
+  }
+  PseudocostHistory local_pc;
+  PseudocostHistory& pc = warm != nullptr ? warm->pseudocosts : local_pc;
+  pc.entries.resize(n);
+
+  Bounds root_bounds(n);
+  for (int j = 0; j < n; ++j) {
     const Variable& v = model.variable(j);
     double lo = v.lb, hi = v.ub;
     // Integer variables get their bounds tightened to integers up front.
@@ -127,55 +194,122 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
 
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open(
       NodeOrder{maximize});
-  open.push({std::move(root_bounds),
-             maximize ? kInfinity : -kInfinity});
+  {
+    Node root;
+    root.bounds = std::move(root_bounds);
+    root.bound = maximize ? kInfinity : -kInfinity;
+    if (warm != nullptr) root.basis = warm->root_basis;
+    open.push(std::move(root));
+  }
 
   bool have_incumbent = false;
   std::vector<double> incumbent;
   double incumbent_obj = 0.0;
-  double best_open_bound = maximize ? -kInfinity : kInfinity;
-  bool hit_limit = false;
   bool root_unbounded = false;
+  bool root_basis_captured = false;
+  // Optimistic bounds of subtrees abandoned because their LP would not
+  // finish within the (repeatedly doubled) iteration limit. These must
+  // survive into best_bound / status reporting: an abandoned subtree may
+  // hold the true optimum.
+  bool abandoned_any = false;
+  double abandoned_bound = maximize ? -kInfinity : kInfinity;
+  // Doubling the LP budget this many times (~4000x) before giving up on a
+  // node keeps pathological LPs from stalling the whole solve forever.
+  constexpr int kMaxLpLimitBoost = 12;
 
   while (!open.empty()) {
     if (result.nodes >= options.max_nodes ||
         timer.ElapsedSeconds() > options.time_limit_s) {
-      hit_limit = true;
-      break;
+      break;  // open is non-empty here, so work_remaining stays true
     }
-    Node node = open.top();
+    // Move the node out of the queue (top() is const only because mutating
+    // a live element could break the heap; we pop it immediately, so
+    // stealing its guts is safe and saves an O(n + m) deep copy per node).
+    Node node = std::move(const_cast<Node&>(open.top()));
     open.pop();
 
     // Bound-based pruning against the incumbent.
     if (have_incumbent && !better(node.bound, incumbent_obj)) continue;
 
     ++result.nodes;
+    SimplexOptions lp_opts = options.lp;
+    if (node.lp_limit_boost > 0) {
+      lp_opts.max_iterations = EffectiveIterationLimit(model, options.lp)
+                               << node.lp_limit_boost;
+    }
+    const LpBasis* start =
+        warm_enabled && !node.basis.empty() ? &node.basis : nullptr;
     PB_ASSIGN_OR_RETURN(LpSolution lp,
-                        SolveLp(model, options.lp, &node.bounds));
+                        SolveLp(model, lp_opts, &node.bounds, start));
     result.lp_iterations += lp.iterations;
 
     if (lp.status == LpStatus::kInfeasible) continue;
     if (lp.status == LpStatus::kUnbounded) {
-      if (result.nodes == 1) root_unbounded = true;
-      // An unbounded relaxation at a non-root node still means the MILP
-      // may be unbounded; surface it conservatively.
-      root_unbounded = root_unbounded || !have_incumbent;
-      if (root_unbounded) break;
+      // An unbounded relaxation with no incumbent yet (the root included)
+      // means the MILP may be unbounded; surface it conservatively.
+      if (!have_incumbent) {
+        root_unbounded = true;
+        break;
+      }
       continue;
     }
     if (lp.status == LpStatus::kIterationLimit) {
-      hit_limit = true;
+      // The node's subtree must not be lost: re-queue it with a doubled
+      // LP budget, resuming from the partial basis. Only after the boost
+      // cap is the subtree abandoned — and then its optimistic bound
+      // still reaches the reported best_bound below.
+      if (node.lp_limit_boost < kMaxLpLimitBoost) {
+        Node retry = std::move(node);
+        ++retry.lp_limit_boost;
+        if (warm_enabled) retry.basis = std::move(lp.basis);
+        open.push(std::move(retry));
+      } else {
+        abandoned_any = true;
+        abandoned_bound = maximize ? std::max(abandoned_bound, node.bound)
+                                   : std::min(abandoned_bound, node.bound);
+      }
       continue;
     }
 
     double node_bound = lp.objective;
+    if (!root_basis_captured && node.branch_var < 0 && warm != nullptr) {
+      // First optimal solve of the root (re-queues included): remember its
+      // basis for the next structurally identical model.
+      warm->root_basis = lp.basis;
+      root_basis_captured = true;
+    }
+
+    // Pseudocost observation: objective degradation from the parent's LP
+    // bound, normalized by the branching distance.
+    if (warm_enabled && node.branch_var >= 0 && std::isfinite(node.bound)) {
+      double degradation = maximize ? node.bound - node_bound
+                                    : node_bound - node.bound;
+      degradation = std::max(degradation, 0.0);
+      double denom =
+          node.branch_up ? 1.0 - node.branch_frac : node.branch_frac;
+      if (denom > 1e-9) {
+        PseudocostHistory::Entry& e = pc.entries[node.branch_var];
+        if (node.branch_up) {
+          e.up_sum += degradation / denom;
+          ++e.up_n;
+          pc.up_sum_all += degradation / denom;
+          ++pc.up_n_all;
+        } else {
+          e.down_sum += degradation / denom;
+          ++e.down_n;
+          pc.down_sum_all += degradation / denom;
+          ++pc.down_n_all;
+        }
+      }
+    }
+
     if (have_incumbent && !better(node_bound, incumbent_obj)) continue;
 
-    int branch_var = MostFractional(model, lp.x, options.int_tol);
-    if (branch_var < 0) {
+    int frac_var = MostFractionalVariable(model, lp.x, options.int_tol);
+    if (frac_var < 0) {
       // Integer feasible: snap and accept as incumbent.
       std::vector<double> snapped = lp.x;
-      for (int j = 0; j < model.num_variables(); ++j) {
+      for (int j = 0; j < n; ++j) {
         if (model.variable(j).is_integer) snapped[j] = std::round(snapped[j]);
       }
       double obj = model.ObjectiveValue(snapped);
@@ -200,9 +334,12 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
           incumbent_obj = obj;
         }
       }
-      if (!have_incumbent && result.nodes == 1) {
+      // Root identified by branch_var (result.nodes would miss a root that
+      // was re-queued after an LP iteration limit).
+      if (!have_incumbent && node.branch_var < 0) {
         std::vector<double> dived;
         if (TryDive(model, node.bounds, options.lp, options.int_tol,
+                    warm_enabled ? &lp.basis : nullptr,
                     &result.lp_iterations, &dived)) {
           have_incumbent = true;
           incumbent_obj = model.ObjectiveValue(dived);
@@ -211,10 +348,23 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
       }
     }
 
-    // Branch: floor side and ceil side.
+    // Branch: floor side and ceil side, both warm-started from this node's
+    // optimal basis (they differ from it by one variable bound).
+    int branch_var = warm_enabled
+                         ? SelectBranchVariable(model, lp.x, options.int_tol,
+                                                pc, frac_var)
+                         : frac_var;
+    if (branch_var < 0) branch_var = frac_var;
     double xv = lp.x[branch_var];
+    double frac = xv - std::floor(xv);
+    node.basis.clear();  // superseded by lp.basis; don't copy it into `down`
     Node down = node;
     down.bound = node_bound;
+    if (warm_enabled) down.basis = lp.basis;
+    down.branch_var = branch_var;
+    down.branch_frac = frac;
+    down.branch_up = false;
+    down.lp_limit_boost = 0;
     down.bounds[branch_var].second =
         std::min(down.bounds[branch_var].second, std::floor(xv));
     if (down.bounds[branch_var].first <= down.bounds[branch_var].second) {
@@ -222,6 +372,11 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     }
     Node up = std::move(node);
     up.bound = node_bound;
+    if (warm_enabled) up.basis = std::move(lp.basis);
+    up.branch_var = branch_var;
+    up.branch_frac = frac;
+    up.branch_up = true;
+    up.lp_limit_boost = 0;
     up.bounds[branch_var].first =
         std::max(up.bounds[branch_var].first, std::ceil(xv));
     if (up.bounds[branch_var].first <= up.bounds[branch_var].second) {
@@ -229,8 +384,16 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     }
   }
 
-  // Best remaining optimistic bound (for gap reporting).
-  if (!open.empty()) best_open_bound = open.top().bound;
+  // Best remaining optimistic bound over ALL unexplored work: open nodes
+  // (the queue is bound-ordered, so top() is the best) plus any abandoned
+  // subtrees.
+  bool work_remaining = !open.empty() || abandoned_any;
+  double remaining_bound = maximize ? -kInfinity : kInfinity;
+  if (!open.empty()) remaining_bound = open.top().bound;
+  if (abandoned_any) {
+    remaining_bound = maximize ? std::max(remaining_bound, abandoned_bound)
+                               : std::min(remaining_bound, abandoned_bound);
+  }
 
   result.solve_seconds = timer.ElapsedSeconds();
   if (root_unbounded && !have_incumbent) {
@@ -240,18 +403,17 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
   if (have_incumbent) {
     result.x = std::move(incumbent);
     result.objective = incumbent_obj;
-    bool proven = open.empty() && !hit_limit;
-    // With pruning, an emptied queue proves optimality; otherwise compare
-    // the incumbent with the best open bound.
-    if (!proven && !open.empty() && !better(best_open_bound, incumbent_obj)) {
-      proven = !hit_limit;
-    }
-    result.best_bound = open.empty() ? incumbent_obj : best_open_bound;
+    // Optimality is proven when no unexplored work remains, or when none of
+    // it can beat the incumbent (a bound-based proof is valid even when a
+    // node/time limit stopped the search).
+    bool proven = !work_remaining || !better(remaining_bound, incumbent_obj);
+    result.best_bound = proven ? incumbent_obj : remaining_bound;
     result.status = proven ? MilpStatus::kOptimal : MilpStatus::kFeasible;
     return result;
   }
-  result.status = hit_limit ? MilpStatus::kNoSolution : MilpStatus::kInfeasible;
-  result.best_bound = best_open_bound;
+  result.status = work_remaining ? MilpStatus::kNoSolution
+                                 : MilpStatus::kInfeasible;
+  result.best_bound = remaining_bound;
   return result;
 }
 

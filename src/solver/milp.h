@@ -29,12 +29,61 @@ enum class MilpStatus {
 
 const char* MilpStatusToString(MilpStatus s);
 
+/// Per-variable branching history: average objective degradation observed
+/// per unit of fractionality when branching a variable down (floor) or up
+/// (ceil). Seeds branch-variable selection; sharing one history across
+/// repeated solves of structurally identical models (SketchRefine's
+/// refine/repair sub-ILP sequence) gives later solves better choices from
+/// node one.
+struct PseudocostHistory {
+  struct Entry {
+    double down_sum = 0.0;  ///< accumulated per-unit degradation, floor side
+    double up_sum = 0.0;    ///< accumulated per-unit degradation, ceil side
+    int32_t down_n = 0;
+    int32_t up_n = 0;
+  };
+  std::vector<Entry> entries;  ///< indexed by variable
+  /// Running aggregates over every observation, maintained alongside the
+  /// per-entry sums: O(1) has_observations() and global fallback averages
+  /// during branch selection instead of a full pass per node.
+  double down_sum_all = 0.0;
+  double up_sum_all = 0.0;
+  int64_t down_n_all = 0;
+  int64_t up_n_all = 0;
+
+  bool has_observations() const { return down_n_all + up_n_all > 0; }
+};
+
+/// Reusable cross-solve warm-start state, owned by the caller and passed
+/// via MilpOptions::warm. SolveMilp reads it on entry (root LP basis,
+/// branching history) and updates it on exit. State is keyed on the
+/// model's StructuralSignature(): a signature mismatch resets it, so it is
+/// always safe to reuse one MilpWarmStart across arbitrary solves — it only
+/// ever helps when the structure actually matches. NOT thread-safe: one
+/// warm-start object must not be shared by concurrent solves.
+struct MilpWarmStart {
+  uint64_t model_signature = 0;
+  LpBasis root_basis;
+  PseudocostHistory pseudocosts;
+};
+
 struct MilpOptions {
   double int_tol = 1e-6;         ///< integrality tolerance
   double gap_abs = 1e-9;         ///< absolute bound-vs-incumbent gap to stop
-  int64_t max_nodes = 2'000'000; ///< branch-and-bound node budget
+  /// Branch-and-bound node budget. Counts LP solves, including the re-
+  /// solves of a node whose LP hit its iteration limit (each retry doubles
+  /// the LP budget, so retries are real work the cap must bound).
+  int64_t max_nodes = 2'000'000;
   double time_limit_s = 300.0;   ///< wall-clock budget
   bool rounding_heuristic = true;
+  /// Re-solve each branch-and-bound child from its parent's optimal basis
+  /// (phase-1 repair handles the tightened bound), chain bases through the
+  /// dive heuristic, and branch on pseudocost history. Off = the faithful
+  /// pre-warm-start solver — cold slack-basis solves, most-fractional
+  /// branching, and `warm` ignored — kept as an ablation/benchmark knob.
+  bool warm_start_lps = true;
+  /// Optional cross-solve state (borrowed, in/out); see MilpWarmStart.
+  MilpWarmStart* warm = nullptr;
   SimplexOptions lp;
 };
 
@@ -43,7 +92,9 @@ struct MilpResult {
   std::vector<double> x;     ///< incumbent (valid for kOptimal / kFeasible)
   double objective = 0.0;    ///< incumbent objective
   double best_bound = 0.0;   ///< proven bound on the optimum
-  int64_t nodes = 0;         ///< nodes explored
+  /// Node LP solves performed (iteration-limit re-solves of one node
+  /// count individually — see MilpOptions::max_nodes).
+  int64_t nodes = 0;
   int64_t lp_iterations = 0; ///< total simplex iterations
   double solve_seconds = 0.0;
 
@@ -51,6 +102,14 @@ struct MilpResult {
     return status == MilpStatus::kOptimal || status == MilpStatus::kFeasible;
   }
 };
+
+/// Index of the integer variable whose fractional part is closest to 1/2
+/// ("most fractional"), ignoring variables within `int_tol` of an integer;
+/// -1 when x is integral. Ties break to the lowest index. Exposed for
+/// testing and reused as the branching fallback before pseudocost history
+/// accumulates.
+int MostFractionalVariable(const LpModel& model, const std::vector<double>& x,
+                           double int_tol);
 
 /// Solves a MILP. Pure-LP models (no integer variables) degrade to a single
 /// simplex solve. Statuses map: LP infeasible -> kInfeasible, LP unbounded ->

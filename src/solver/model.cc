@@ -98,6 +98,26 @@ bool LpModel::IsFeasible(const std::vector<double>& x, double tol) const {
   return true;
 }
 
+uint64_t LpModel::StructuralSignature() const {
+  // FNV-1a over the structural facts warm-start state depends on.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(variables_.size()));
+  mix(static_cast<uint64_t>(constraints_.size()));
+  mix(sense_ == ObjectiveSense::kMaximize ? 0x9e3779b9ULL : 0x85ebca6bULL);
+  for (const Variable& v : variables_) mix(v.is_integer ? 2u : 1u);
+  for (const Constraint& c : constraints_) {
+    mix(static_cast<uint64_t>(c.terms.size()));
+    for (const LinearTerm& t : c.terms) {
+      mix(static_cast<uint64_t>(t.var) + 0x9e3779b97f4a7c15ULL);
+    }
+  }
+  return h;
+}
+
 namespace {
 std::string BoundToLp(double v) {
   if (v == kInfinity) return "+inf";

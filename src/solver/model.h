@@ -14,6 +14,7 @@
 #ifndef PB_SOLVER_MODEL_H_
 #define PB_SOLVER_MODEL_H_
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -91,6 +92,13 @@ class LpModel {
 
   /// CPLEX LP-format text (for debugging / interop with external solvers).
   std::string ToLpFormat() const;
+
+  /// Order-sensitive hash of the model's structure: dimensions, sense,
+  /// integrality pattern, and row sparsity (variable indices, not
+  /// coefficient values). Warm-start state (bases, pseudocost history) is
+  /// transferable between two solves exactly when their signatures match;
+  /// SolveMilp resets any inherited MilpWarmStart whose signature differs.
+  uint64_t StructuralSignature() const;
 
  private:
   std::vector<Variable> variables_;

@@ -19,9 +19,6 @@ const char* LpStatusToString(LpStatus s) {
 
 namespace {
 
-// Nonbasic status of a variable.
-enum class VarStat : int8_t { kBasic, kAtLower, kAtUpper, kFree };
-
 /// The working state of one simplex solve. Variables 0..n-1 are structural;
 /// n..n+m-1 are row slacks (column -e_i, bounds = row range).
 class Simplex {
@@ -56,22 +53,46 @@ class Simplex {
       ub_[slack] = c.hi;
     }
 
-    if (opts_.max_iterations <= 0) {
-      max_iter_ = 200LL * (m_ + 1) + 20LL * total_ + 2000;
-    } else {
-      max_iter_ = opts_.max_iterations;
+    max_iter_ = EffectiveIterationLimit(model, options);
+  }
+
+  LpSolution Run(const LpBasis* warm_start) {
+    bool warm_loaded = warm_start != nullptr && !warm_start->empty() &&
+                       LoadBasis(*warm_start);
+    if (!warm_loaded) InitBasis();
+    for (;;) {
+      LpSolution out = RunFromCurrentBasis();
+      // Never conclude infeasible/unbounded from a warm start that hit
+      // numerical trouble (a singular refactorization aborts a phase
+      // early and can fake either verdict on an ill-conditioned inherited
+      // basis): restart from the perfectly conditioned slack basis and
+      // let the cold solve have the final word. Iterations accumulate
+      // across the restart, so the accounting stays honest.
+      if (warm_loaded && numerical_trouble_ &&
+          (out.status == LpStatus::kInfeasible ||
+           out.status == LpStatus::kUnbounded)) {
+        warm_loaded = false;
+        numerical_trouble_ = false;
+        InitBasis();
+        continue;
+      }
+      return out;
     }
   }
 
-  LpSolution Run() {
+ private:
+  /// Two-phase solve from whatever basis is currently loaded.
+  LpSolution RunFromCurrentBasis() {
     LpSolution out;
-    InitBasis();
 
-    // ---- Phase 1: drive basic bound violations to zero.
+    // ---- Phase 1: drive basic bound violations to zero. A warm basis that
+    // is primal feasible under the current bounds exits immediately; one
+    // that inherited now-violated bounds gets repaired here.
     bool feasible = SolvePhase(/*phase1=*/true);
     if (iterations_ >= max_iter_) {
       out.status = LpStatus::kIterationLimit;
       out.iterations = iterations_;
+      ExportBasis(&out.basis);
       return out;
     }
     if (!feasible || TotalInfeasibility() > opts_.feas_tol * (1 + m_)) {
@@ -85,6 +106,7 @@ class Simplex {
     out.iterations = iterations_;
     if (iterations_ >= max_iter_) {
       out.status = LpStatus::kIterationLimit;
+      ExportBasis(&out.basis);
       return out;
     }
     if (!optimal) {
@@ -96,6 +118,7 @@ class Simplex {
     double obj = 0.0;
     for (int j = 0; j < n_; ++j) obj += cost_[j] * x_[j];
     out.objective = sign_ * obj;
+    ExportBasis(&out.basis);
     return out;
   }
 
@@ -133,6 +156,72 @@ class Simplex {
     binv_.assign(m_ * m_, 0.0);
     for (int i = 0; i < m_; ++i) binv_[i * m_ + i] = -1.0;
     RecomputeBasicValues();
+  }
+
+  /// Restores a prior basis: statuses are adopted, nonbasic variables snap
+  /// to the current bounds (which may have moved since the snapshot — the
+  /// branch-and-bound case), and the basis inverse is refactorized from
+  /// scratch. Returns false (leaving reinitialization to the caller) when
+  /// the snapshot has the wrong shape, is internally inconsistent, or its
+  /// basis matrix is singular.
+  bool LoadBasis(const LpBasis& b) {
+    if (static_cast<int>(b.basic.size()) != m_ ||
+        static_cast<int>(b.stat.size()) != total_) {
+      return false;
+    }
+    int basic_count = 0;
+    for (int j = 0; j < total_; ++j) {
+      if (b.stat[j] == VarStat::kBasic) ++basic_count;
+    }
+    if (basic_count != m_) return false;
+    for (int j : b.basic) {
+      if (j < 0 || j >= total_ || b.stat[j] != VarStat::kBasic) return false;
+    }
+    basis_ = b.basic;
+    stat_ = b.stat;
+    x_.assign(total_, 0.0);
+    for (int j = 0; j < total_; ++j) {
+      switch (stat_[j]) {
+        case VarStat::kBasic:
+          break;  // recomputed by Refactorize()
+        case VarStat::kAtLower:
+          if (lb_[j] > -kInf) {
+            x_[j] = lb_[j];
+          } else if (ub_[j] < kInf) {
+            stat_[j] = VarStat::kAtUpper;
+            x_[j] = ub_[j];
+          } else {
+            stat_[j] = VarStat::kFree;
+          }
+          break;
+        case VarStat::kAtUpper:
+          if (ub_[j] < kInf) {
+            x_[j] = ub_[j];
+          } else if (lb_[j] > -kInf) {
+            stat_[j] = VarStat::kAtLower;
+            x_[j] = lb_[j];
+          } else {
+            stat_[j] = VarStat::kFree;
+          }
+          break;
+        case VarStat::kFree:
+          if (lb_[j] > -kInf || ub_[j] < kInf) {
+            // Bounds appeared since the snapshot: rest on the nearer one.
+            bool lower =
+                ub_[j] == kInf ||
+                (lb_[j] > -kInf && std::abs(lb_[j]) <= std::abs(ub_[j]));
+            stat_[j] = lower ? VarStat::kAtLower : VarStat::kAtUpper;
+            x_[j] = lower ? lb_[j] : ub_[j];
+          }
+          break;
+      }
+    }
+    return Refactorize();
+  }
+
+  void ExportBasis(LpBasis* out) const {
+    out->basic = basis_;
+    out->stat = stat_;
   }
 
   /// x_B = B^{-1} (0 - N x_N).
@@ -356,6 +445,7 @@ class Simplex {
         // Unbounded direction. In phase 1 this cannot lower a
         // nonnegative objective forever — treat as numerical trouble and
         // report infeasible via the caller's infeasibility check.
+        if (phase1) numerical_trouble_ = true;
         return !phase1 ? false : true;
       }
 
@@ -389,7 +479,10 @@ class Simplex {
       // Update B^{-1}: row ops so that column `enter` becomes e_{leave_row}.
       double piv = alpha[leave_row];
       if (std::abs(piv) < opts_.pivot_tol) {
-        if (!Refactorize()) return !phase1 ? false : true;
+        if (!Refactorize()) {
+          numerical_trouble_ = true;
+          return !phase1 ? false : true;
+        }
         continue;
       }
       double* prow = &binv_[leave_row * m_];
@@ -404,7 +497,10 @@ class Simplex {
 
       if (++since_refactor >= opts_.refactor_every) {
         since_refactor = 0;
-        if (!Refactorize()) return !phase1 ? false : true;
+        if (!Refactorize()) {
+          numerical_trouble_ = true;
+          return !phase1 ? false : true;
+        }
       }
     }
     return true;  // iteration limit; caller inspects iterations_
@@ -416,6 +512,10 @@ class Simplex {
   int64_t max_iter_ = 0;
   int64_t iterations_ = 0;
   int64_t bland_threshold_ = 0;
+  /// A phase aborted early on a singular refactorization (or phase 1 found
+  /// an "unbounded" improving direction): any infeasible/unbounded verdict
+  /// is suspect. Run() retries cold when this fires under a warm start.
+  bool numerical_trouble_ = false;
 
   std::vector<std::vector<std::pair<int, double>>> cols_;  // per-variable
   std::vector<double> lb_, ub_, cost_;
@@ -430,9 +530,18 @@ class Simplex {
 
 }  // namespace
 
+int64_t EffectiveIterationLimit(const LpModel& model,
+                                const SimplexOptions& options) {
+  if (options.max_iterations > 0) return options.max_iterations;
+  int64_t m = model.num_constraints();
+  int64_t n = model.num_variables();
+  return 200LL * (m + 1) + 20LL * (n + m) + 2000;
+}
+
 Result<LpSolution> SolveLp(
     const LpModel& model, const SimplexOptions& options,
-    const std::vector<std::pair<double, double>>* bound_override) {
+    const std::vector<std::pair<double, double>>* bound_override,
+    const LpBasis* warm_start) {
   PB_RETURN_IF_ERROR(model.Validate());
   if (bound_override) {
     if (static_cast<int>(bound_override->size()) != model.num_variables()) {
@@ -455,7 +564,7 @@ Result<LpSolution> SolveLp(
           ? -1
           : 50LL * (model.num_constraints() + 1) +
                 2LL * (model.num_variables() + model.num_constraints()) + 500);
-  return solver.Run();
+  return solver.Run(warm_start);
 }
 
 }  // namespace pb::solver

@@ -30,6 +30,28 @@ enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 const char* LpStatusToString(LpStatus s);
 
+/// Where a variable rests in a simplex basis. Variables 0..n-1 are the
+/// model's structural columns; n..n+m-1 are the per-row slacks.
+enum class VarStat : int8_t { kBasic, kAtLower, kAtUpper, kFree };
+
+/// Snapshot of a simplex basis, sufficient to warm-start a later solve of
+/// the same model (or any model with identical dimensions — structural
+/// compatibility is the caller's contract; SolveLp falls back to a cold
+/// start whenever the snapshot does not fit or is singular).
+struct LpBasis {
+  /// basic[i] = index of the variable basic in row i (size m).
+  std::vector<int> basic;
+  /// Status of every variable, structural then slack (size n + m).
+  /// stat[basic[i]] must be kBasic; exactly m entries are kBasic.
+  std::vector<VarStat> stat;
+
+  bool empty() const { return basic.empty(); }
+  void clear() {
+    basic.clear();
+    stat.clear();
+  }
+};
+
 /// Result of one LP solve.
 struct LpSolution {
   LpStatus status = LpStatus::kInfeasible;
@@ -38,6 +60,10 @@ struct LpSolution {
   /// Objective under the model's sense; valid when kOptimal.
   double objective = 0.0;
   int64_t iterations = 0;
+  /// Final basis; populated when kOptimal (for warm-starting related
+  /// solves) and when kIterationLimit (so a re-solve with a raised limit
+  /// resumes instead of restarting).
+  LpBasis basis;
 };
 
 struct SimplexOptions {
@@ -51,12 +77,25 @@ struct SimplexOptions {
   bool always_bland = false;
 };
 
+/// The iteration budget SolveLp will use for `model` under `options`:
+/// options.max_iterations when positive, otherwise the automatic limit
+/// scaled to the model's size. Exposed so callers (branch-and-bound's
+/// iteration-limit re-queue) can raise the limit meaningfully.
+int64_t EffectiveIterationLimit(const LpModel& model,
+                                const SimplexOptions& options);
+
 /// Solves the LP relaxation of `model` (integrality is ignored).
 /// `bound_override`, when non-null, replaces variable bounds (used by
 /// branch-and-bound nodes); it must have one (lb, ub) pair per variable.
+/// `warm_start`, when non-null and non-empty, seeds the solve from a prior
+/// basis of a dimensionally identical model: nonbasic variables snap to
+/// their (possibly changed) bounds, a bound-infeasible basis is repaired by
+/// the composite phase 1, and a singular or ill-sized snapshot silently
+/// falls back to the cold slack basis.
 Result<LpSolution> SolveLp(
     const LpModel& model, const SimplexOptions& options = {},
-    const std::vector<std::pair<double, double>>* bound_override = nullptr);
+    const std::vector<std::pair<double, double>>* bound_override = nullptr,
+    const LpBasis* warm_start = nullptr);
 
 }  // namespace pb::solver
 

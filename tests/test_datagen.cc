@@ -14,7 +14,7 @@
 namespace pb::datagen {
 namespace {
 
-// ----- Distributions ----------------------------------------------------------
+// ----- Distributions ---------------------------------------------------------
 
 TEST(DistributionsTest, ZipfRanksInRangeAndSkewed) {
   Rng rng(3);
@@ -56,7 +56,7 @@ TEST(DistributionsTest, RoundTo) {
   EXPECT_DOUBLE_EQ(RoundTo(-1.005, 1), -1.0);
 }
 
-// ----- Generators ---------------------------------------------------------------
+// ----- Generators ------------------------------------------------------------
 
 TEST(RecipesTest, DeterministicAndWellFormed) {
   db::Table a = GenerateRecipes(200, 42);

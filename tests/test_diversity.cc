@@ -77,7 +77,11 @@ TEST_F(DiversityTest, DiverseSetIsMoreSpreadThanTopK) {
       catalog_);
   ASSERT_TRUE(aq.ok()) << aq.status().ToString();
   const size_t k = 5;
-  auto top = EnumerateViaSolver(*aq, [&]{ EnumerateOptions o; o.max_packages = k; return o; }());
+  auto top = EnumerateViaSolver(*aq, [&] {
+    EnumerateOptions o;
+    o.max_packages = k;
+    return o;
+  }());
   auto diverse = EnumerateDiverse(*aq, k, /*pool_factor=*/6);
   ASSERT_TRUE(top.ok());
   ASSERT_TRUE(diverse.ok());
@@ -109,7 +113,11 @@ TEST_F(DiversityTest, BestPackageAlwaysIncluded) {
       "MAXIMIZE SUM(protein)",
       catalog_);
   ASSERT_TRUE(aq.ok());
-  auto best = EnumerateViaSolver(*aq, [&]{ EnumerateOptions o; o.max_packages = 1; return o; }());
+  auto best = EnumerateViaSolver(*aq, [&] {
+    EnumerateOptions o;
+    o.max_packages = 1;
+    return o;
+  }());
   auto diverse = EnumerateDiverse(*aq, 4);
   ASSERT_TRUE(best.ok());
   ASSERT_TRUE(diverse.ok());

@@ -49,7 +49,8 @@ class ExprGen {
     GeneratedExpr r = Numeric(depth - 1);
     switch (rng_->UniformInt(0, 3)) {
       case 0:
-        return {Binary(BinaryOp::kAdd, l.expr, r.expr), Lift(l, r, std::plus<>())};
+        return {Binary(BinaryOp::kAdd, l.expr, r.expr),
+                Lift(l, r, std::plus<>())};
       case 1:
         return {Binary(BinaryOp::kSub, l.expr, r.expr),
                 Lift(l, r, std::minus<>())};

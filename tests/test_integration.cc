@@ -102,7 +102,7 @@ TEST_F(IntegrationTest, AllThreeIntroScenariosSolve) {
   EXPECT_GT(portfolio->objective, 0.0);
 }
 
-// ----- Feature matrix -----------------------------------------------------------
+// ----- Feature matrix --------------------------------------------------------
 
 struct FeatureCase {
   const char* label;
@@ -118,8 +118,9 @@ TEST_P(FeatureMatrixTest, ParsesEvaluatesValidates) {
   catalog.RegisterOrReplace(datagen::GenerateRecipes(40, 71));
   auto aq = paql::ParseAndAnalyze(fc.query, catalog);
   ASSERT_TRUE(aq.ok()) << fc.label << ": " << aq.status().ToString();
-  EXPECT_EQ(aq->ilp_translatable && (!aq->has_objective || aq->objective_linear),
-            fc.expect_translatable)
+  EXPECT_EQ(
+      aq->ilp_translatable && (!aq->has_objective || aq->objective_linear),
+      fc.expect_translatable)
       << fc.label << " (" << aq->not_translatable_reason << ")";
 
   core::QueryEvaluator ev(&catalog);

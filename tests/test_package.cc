@@ -41,7 +41,7 @@ class PackageTest : public ::testing::Test {
   db::Catalog catalog_;
 };
 
-// ----- Multiset mechanics -------------------------------------------------------
+// ----- Multiset mechanics ----------------------------------------------------
 
 TEST(PackageMechanicsTest, AddRemoveNormalize) {
   Package p;
@@ -88,7 +88,7 @@ TEST(PackageMechanicsTest, FingerprintStable) {
   EXPECT_NE(a.Fingerprint(), b.Fingerprint());
 }
 
-// ----- Aggregates ---------------------------------------------------------------
+// ----- Aggregates ------------------------------------------------------------
 
 TEST_F(PackageTest, AggregatesOverPackage) {
   db::Table t = MakeMeals();
@@ -129,7 +129,7 @@ TEST_F(PackageTest, EmptyPackageSemantics) {
   EXPECT_EQ(EvalPackageAgg(cnt, t, empty)->AsInt(), 0);
 }
 
-// ----- Validity -----------------------------------------------------------------
+// ----- Validity --------------------------------------------------------------
 
 TEST_F(PackageTest, GlobalConstraintSatisfaction) {
   auto aq = Analyzed(catalog_,

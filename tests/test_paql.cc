@@ -217,7 +217,7 @@ TEST(ParserTest, ErrorsCarryOffsets) {
   EXPECT_NE(r.status().message().find("offset"), std::string::npos);
 }
 
-// ----- Natural-language descriptions ------------------------------------------
+// ----- Natural-language descriptions -----------------------------------------
 
 TEST(DescribeTest, ConstraintDescriptions) {
   auto g = ParseGlobalExpr("SUM(calories) BETWEEN 2000 AND 2500");
@@ -247,7 +247,7 @@ TEST(ParserTest, AggregateExprSubLanguage) {
   EXPECT_FALSE(ParseAggregateExpr("").ok());
 }
 
-// ----- Analyzer ----------------------------------------------------------------
+// ----- Analyzer --------------------------------------------------------------
 
 class AnalyzerTest : public ::testing::Test {
  protected:

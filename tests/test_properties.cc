@@ -213,7 +213,7 @@ TEST_P(CrossStrategyProperty, SketchRefinePackagesAlwaysValid) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossStrategyProperty,
                          ::testing::Range(0, 24));
 
-// ----- Parser round-trip property --------------------------------------------------
+// ----- Parser round-trip property --------------------------------------------
 
 class ParserRoundTripProperty : public ::testing::TestWithParam<int> {};
 
@@ -253,7 +253,7 @@ TEST_P(ParserRoundTripProperty, ToPaqlReparsesToSameText) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripProperty,
                          ::testing::Range(0, 32));
 
-// ----- REPEAT-multiplicity property -------------------------------------------------
+// ----- REPEAT-multiplicity property ------------------------------------------
 
 class RepeatProperty : public ::testing::TestWithParam<int> {};
 

@@ -15,7 +15,7 @@
 namespace pb::core {
 namespace {
 
-// ----- Partitioning ---------------------------------------------------------------
+// ----- Partitioning ----------------------------------------------------------
 
 TEST(PartitionTest, CoversAllItemsExactlyOnce) {
   std::vector<std::vector<double>> features;
@@ -72,7 +72,7 @@ TEST(PartitionTest, GroupsAreSpatiallyCoherent) {
   }
 }
 
-// ----- SketchRefine end-to-end ------------------------------------------------------
+// ----- SketchRefine end-to-end -----------------------------------------------
 
 class SketchRefineTest : public ::testing::Test {
  protected:

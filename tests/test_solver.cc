@@ -15,7 +15,7 @@
 namespace pb::solver {
 namespace {
 
-// ----- Model -------------------------------------------------------------------
+// ----- Model -----------------------------------------------------------------
 
 TEST(ModelTest, BuilderBasics) {
   LpModel m;
@@ -66,7 +66,7 @@ TEST(ModelTest, LpFormatMentionsEverything) {
   EXPECT_NE(lp.find("End"), std::string::npos);
 }
 
-// ----- Simplex -------------------------------------------------------------------
+// ----- Simplex ---------------------------------------------------------------
 
 TEST(SimplexTest, TextbookMaximization) {
   // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6) obj 36.
@@ -250,7 +250,7 @@ TEST(SimplexTest, RandomizedLpsBeatOrMatchIntegerGrid) {
   }
 }
 
-// ----- MILP -----------------------------------------------------------------------
+// ----- MILP ------------------------------------------------------------------
 
 TEST(MilpTest, KnapsackSmall) {
   // Classic 0/1 knapsack: values {60,100,120}, weights {10,20,30}, cap 50.
@@ -427,6 +427,158 @@ TEST(MilpTest, RandomizedAgainstExhaustiveOracle) {
   }
   // The generator must produce a healthy mix of feasible cases.
   EXPECT_GE(checked, 20);
+}
+
+// ----- Branching -------------------------------------------------------------
+
+TEST(BranchingTest, MostFractionalPicksClosestToHalf) {
+  LpModel m;
+  for (int j = 0; j < 4; ++j) {
+    m.AddVariable("x" + std::to_string(j), 0, 10, 1.0, true);
+  }
+  // Fractional parts: 0.3, 0.5, 0.9, 0.0 — index 1 is closest to 1/2.
+  EXPECT_EQ(MostFractionalVariable(m, {2.3, 5.5, 0.9, 4.0}, 1e-6), 1);
+  // 0.45 (dist 0.05) beats 0.7 (dist 0.2).
+  EXPECT_EQ(MostFractionalVariable(m, {1.45, 3.0, 2.7, 0.0}, 1e-6), 0);
+  // Ties break to the lowest index.
+  EXPECT_EQ(MostFractionalVariable(m, {0.0, 1.25, 2.75, 3.0}, 1e-6), 1);
+}
+
+TEST(BranchingTest, MostFractionalHonorsToleranceAndContinuousVars) {
+  LpModel m;
+  m.AddVariable("i0", 0, 10, 1.0, true);
+  m.AddVariable("c1", 0, 10, 1.0, false);  // continuous: never branched
+  m.AddVariable("i2", 0, 10, 1.0, true);
+  // i0 is within tolerance of 2; c1 is very fractional but continuous.
+  EXPECT_EQ(MostFractionalVariable(m, {2.0000001, 5.5, 7.2}, 1e-6), 2);
+  // Everything integral (within tolerance): -1.
+  EXPECT_EQ(MostFractionalVariable(m, {2.0, 5.5, 7.0}, 1e-6), -1);
+  // A barely-fractional variable is still found when it is all there is.
+  EXPECT_EQ(MostFractionalVariable(m, {2.001, 5.5, 7.0}, 1e-6), 0);
+}
+
+// ----- Status edges under tight budgets --------------------------------------
+
+/// A feasible knapsack-style ILP that needs real branching.
+LpModel BranchyModel(int n, uint64_t seed) {
+  Rng rng(seed);
+  LpModel m;
+  std::vector<LinearTerm> cap;
+  for (int j = 0; j < n; ++j) {
+    double w = rng.UniformReal(1.0, 30.0);
+    m.AddVariable("x" + std::to_string(j), 0, 1,
+                  w * rng.UniformReal(0.8, 1.2), true);
+    cap.push_back({j, w});
+  }
+  m.AddConstraint("cap", cap, -kInfinity, 7.0 * n);
+  m.SetSense(ObjectiveSense::kMaximize);
+  return m;
+}
+
+TEST(MilpStatusTest, NoSolutionUnderZeroNodeBudgetNotInfeasible) {
+  // A perfectly feasible model starved of nodes must report kNoSolution
+  // (stopped at a limit), never kInfeasible (a proof that none exists).
+  LpModel m = BranchyModel(30, 7);
+  MilpOptions opts;
+  opts.max_nodes = 0;
+  auto r = SolveMilp(m, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, MilpStatus::kNoSolution);
+
+  MilpOptions time_opts;
+  time_opts.time_limit_s = 0.0;
+  auto rt = SolveMilp(m, time_opts);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt->status, MilpStatus::kNoSolution);
+}
+
+TEST(MilpStatusTest, InfeasibleIsProvenOnlyWhenTheTreeIsExhausted) {
+  // LP-infeasible at the root: one node is a proof.
+  LpModel lp_inf;
+  int x = lp_inf.AddVariable("x", 0, 1, 1, true);
+  lp_inf.AddConstraint("c", {{x, 1.0}}, 5, 10);
+  MilpOptions one_node;
+  one_node.max_nodes = 1;
+  auto r1 = SolveMilp(lp_inf, one_node);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->status, MilpStatus::kInfeasible);
+
+  // Integer-infeasible but LP-feasible: the root branches, so a one-node
+  // budget stops with open work and must honestly say kNoSolution, while
+  // a budget that lets both children solve proves kInfeasible.
+  LpModel int_inf;
+  int y = int_inf.AddVariable("y", 0, 1, 1, true);
+  int_inf.AddConstraint("c", {{y, 1.0}}, 0.4, 0.6);
+  auto r2 = SolveMilp(int_inf, one_node);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->status, MilpStatus::kNoSolution);
+
+  auto r3 = SolveMilp(int_inf);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->status, MilpStatus::kInfeasible);
+}
+
+TEST(MilpStatusTest, UnboundedSurfacesFromRequeuedNonRootSolve) {
+  // max x + 10y with y capped by a row and x truly unbounded. With a
+  // one-iteration LP budget the root solve spends its budget pivoting y,
+  // hits kIterationLimit, and is re-queued; unboundedness is then
+  // discovered by the resumed (non-first) solve and must still surface.
+  LpModel m;
+  int x = m.AddVariable("x", 0, kInfinity, 1, false);
+  int y = m.AddVariable("y", 0, kInfinity, 10, true);
+  (void)x;
+  m.AddConstraint("ycap", {{y, 1.0}}, -kInfinity, 5);
+  m.SetSense(ObjectiveSense::kMaximize);
+  MilpOptions opts;
+  opts.lp.max_iterations = 1;
+  auto r = SolveMilp(m, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, MilpStatus::kUnbounded);
+  EXPECT_GT(r->nodes, 1) << "the root must actually have been re-queued";
+}
+
+TEST(MilpStatusTest, BestBoundBracketsOracleUnderNodeLimits) {
+  // best_bound must always be a valid optimistic bound on the true
+  // optimum, at any node budget; at full budget it must close the gap.
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m;
+    int n = static_cast<int>(rng.UniformInt(3, 6));
+    for (int j = 0; j < n; ++j) {
+      m.AddVariable("x" + std::to_string(j), 0, 2,
+                    static_cast<double>(rng.UniformInt(-4, 6)), true);
+    }
+    std::vector<LinearTerm> terms;
+    for (int j = 0; j < n; ++j) {
+      terms.push_back({j, static_cast<double>(rng.UniformInt(1, 4))});
+    }
+    m.AddConstraint("cap", terms, -kInfinity,
+                    static_cast<double>(rng.UniformInt(3, 9)));
+    m.SetSense(ObjectiveSense::kMaximize);
+    bool feasible = false;
+    double oracle = IntegerOracle(m, 2, &feasible);
+    ASSERT_TRUE(feasible);  // x = 0 is always feasible here
+
+    for (int64_t budget : {1, 3, 1000000}) {
+      MilpOptions opts;
+      opts.max_nodes = budget;
+      auto r = SolveMilp(m, opts);
+      ASSERT_TRUE(r.ok()) << "trial " << trial << " budget " << budget;
+      if (r->has_solution()) {
+        EXPECT_GE(r->best_bound, oracle - 1e-6)
+            << "trial " << trial << " budget " << budget;
+        EXPECT_GE(r->best_bound, r->objective - 1e-9)
+            << "trial " << trial << " budget " << budget;
+        EXPECT_LE(r->objective, oracle + 1e-6)
+            << "trial " << trial << " budget " << budget;
+      }
+      if (budget == 1000000) {
+        ASSERT_EQ(r->status, MilpStatus::kOptimal) << "trial " << trial;
+        EXPECT_NEAR(r->objective, oracle, 1e-6) << "trial " << trial;
+        EXPECT_NEAR(r->best_bound, oracle, 1e-6) << "trial " << trial;
+      }
+    }
+  }
 }
 
 TEST(MilpTest, NodeLimitReportsHonestly) {

@@ -30,7 +30,7 @@ class StrategiesTest : public ::testing::Test {
   db::Catalog catalog_;
 };
 
-// ----- Brute force --------------------------------------------------------------
+// ----- Brute force -----------------------------------------------------------
 
 TEST_F(StrategiesTest, BruteForceFindsFirstValidFeasibilityQuery) {
   auto aq = Analyzed(
@@ -119,7 +119,7 @@ TEST_F(StrategiesTest, BruteForceExactOnDisjunctiveQuery) {
   EXPECT_TRUE(*IsValidPackage(*aq, r->best));
 }
 
-// ----- Local search -------------------------------------------------------------
+// ----- Local search ----------------------------------------------------------
 
 TEST_F(StrategiesTest, LocalSearchReachesFeasibility) {
   auto aq = Analyzed(
@@ -220,7 +220,7 @@ TEST_F(StrategiesTest, KReplacementProbeCountsGrowWithK) {
   EXPECT_FALSE(CountKReplacements(*aq, p0, 9, 10).ok());
 }
 
-// ----- Enumerator ---------------------------------------------------------------
+// ----- Enumerator ------------------------------------------------------------
 
 TEST_F(StrategiesTest, SolverEnumerationDistinctAndOrdered) {
   auto aq = Analyzed(
@@ -262,7 +262,7 @@ TEST_F(StrategiesTest, ExhaustiveEnumerationFindsAll) {
   EXPECT_EQ(all->size(), 45u);  // C(10, 2)
 }
 
-// ----- Evaluator facade ----------------------------------------------------------
+// ----- Evaluator facade ------------------------------------------------------
 
 TEST_F(StrategiesTest, EvaluatorReportsBoundsAndTiming) {
   QueryEvaluator ev(&catalog_);

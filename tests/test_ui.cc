@@ -38,7 +38,7 @@ class UiTest : public ::testing::Test {
   db::Catalog catalog_;
 };
 
-// ----- Suggestions (§3.1) --------------------------------------------------------
+// ----- Suggestions (§3.1) ----------------------------------------------------
 
 TEST_F(UiTest, CellHighlightOnNumericColumnSuggestsFatStyleConstraints) {
   // The paper's example interaction: selecting a cell in the "fats" column
@@ -142,14 +142,18 @@ TEST_F(UiTest, ApplySuggestionExtendsQueryAndStaysEvaluable) {
   ASSERT_TRUE(re.ok()) << re.status().ToString() << "\n" << q.ToPaql();
 }
 
-// ----- Summary (§3.2) ------------------------------------------------------------
+// ----- Summary (§3.2) --------------------------------------------------------
 
 TEST_F(UiTest, SummaryPicksTwoDimensionsAndBucketsPackages) {
   auto aq = Analyzed(
       "SELECT PACKAGE(R) FROM recipes R WHERE gluten = 'free' "
       "SUCH THAT COUNT(*) = 2 AND SUM(calories) <= 1400 "
       "MAXIMIZE SUM(protein)");
-  auto packages = core::EnumerateViaSolver(aq, [&]{ core::EnumerateOptions o; o.max_packages = 12; return o; }());
+  auto packages = core::EnumerateViaSolver(aq, [&] {
+    core::EnumerateOptions o;
+    o.max_packages = 12;
+    return o;
+  }());
   ASSERT_TRUE(packages.ok()) << packages.status().ToString();
   ASSERT_GE(packages->size(), 3u);
   auto summary = SummarizePackageSpace(aq, *packages);
@@ -167,7 +171,11 @@ TEST_F(UiTest, SummaryNearestPackageAndRender) {
       "SELECT PACKAGE(R) FROM recipes R WHERE gluten = 'free' "
       "SUCH THAT COUNT(*) = 2 AND SUM(calories) <= 1400 "
       "MAXIMIZE SUM(protein)");
-  auto packages = core::EnumerateViaSolver(aq, [&]{ core::EnumerateOptions o; o.max_packages = 6; return o; }());
+  auto packages = core::EnumerateViaSolver(aq, [&] {
+    core::EnumerateOptions o;
+    o.max_packages = 6;
+    return o;
+  }());
   ASSERT_TRUE(packages.ok());
   ASSERT_GE(packages->size(), 2u);
   auto summary = SummarizePackageSpace(aq, *packages);
@@ -189,7 +197,7 @@ TEST_F(UiTest, SummaryEmptyPackageListIsGraceful) {
   EXPECT_EQ(summary->NearestPackage(0, 0), -1);
 }
 
-// ----- Adaptive exploration (§3.3) ------------------------------------------------
+// ----- Adaptive exploration (§3.3) -------------------------------------------
 
 TEST_F(UiTest, ExplorationLockAndResampleKeepsLockedTuples) {
   auto aq = Analyzed(
@@ -264,7 +272,7 @@ TEST_F(UiTest, ExplorationNoAlternativeIsInfeasible) {
   EXPECT_EQ(session.Resample().code(), StatusCode::kInfeasible);
 }
 
-// ----- Template (§3.1 rendering) ---------------------------------------------------
+// ----- Template (§3.1 rendering) ---------------------------------------------
 
 TEST_F(UiTest, TemplateRendersConstraintsAndAggregates) {
   auto aq = Analyzed(
