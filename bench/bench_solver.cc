@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "common/random.h"
 #include "solver/milp.h"
 #include "solver/simplex.h"
@@ -114,13 +116,9 @@ void BM_MilpKnapsack(benchmark::State& state) {
 BENCHMARK(BM_MilpKnapsack)->Arg(20)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
-// Warm-vs-cold ablation on a package-shaped ILP (tight two-sided windows:
-// real branch-and-bound work). Warm inherits each child's basis from its
-// parent and prices branches with pseudocost history; cold re-solves every
-// node from the slack basis — the pre-warm-start behavior. Same model, same
-// optimum (asserted); the iterations counter is the comparison.
-void BM_MilpWarmStartAblation(benchmark::State& state) {
-  const bool warm = state.range(0) != 0;
+/// The tight-window package ILP the warm-start and child-resolve
+/// ablations share (two-sided ranges: real branch-and-bound work).
+LpModel TightWindowPackageIlp() {
   pb::Rng rng(17);
   LpModel m;
   std::vector<LinearTerm> count, weight, price;
@@ -135,10 +133,26 @@ void BM_MilpWarmStartAblation(benchmark::State& state) {
   m.AddConstraint("weight", weight, 3600, 3700);
   m.AddConstraint("price", price, 120, 160);
   m.SetSense(ObjectiveSense::kMaximize);
+  return m;
+}
+
+// Warm-vs-cold ablation on a package-shaped ILP. Warm is the full default
+// path (basis inheritance, pseudocost branching, dual child re-solves,
+// node presolve); cold pins every knob off — the faithful pre-warm-start
+// solver, kept bit-comparable with the PR 3 baseline JSON. Same model,
+// same optimum (asserted); the iterations counter is the comparison.
+void BM_MilpWarmStartAblation(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  LpModel m = TightWindowPackageIlp();
   double iters = 0, nodes = 0, objective = 0;
   for (auto _ : state) {
     MilpOptions opts;
     opts.warm_start_lps = warm;
+    if (!warm) {
+      // The faithful old cold path: no propagation either.
+      opts.use_dual_simplex = false;
+      opts.node_presolve = false;
+    }
     opts.max_nodes = 20000;
     opts.time_limit_s = 60.0;
     auto r = pb::solver::SolveMilp(m, opts);
@@ -156,6 +170,94 @@ void BM_MilpWarmStartAblation(benchmark::State& state) {
   state.counters["objective"] = objective;
 }
 BENCHMARK(BM_MilpWarmStartAblation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Child re-solve engine ablation, all arms warm-started: warm_primal is
+// the PR 3 baseline (every child repaired by the composite phase 1),
+// warm_dual re-optimizes children with the dual simplex, and
+// warm_dual_presolve adds bound propagation before each child LP (the
+// default path). Optima are bit-identical across arms; lp_iterations /
+// lp_dual_iterations and the presolve counters are the comparison — the
+// acceptance bar is >= 2x fewer simplex iterations than warm_primal.
+void BM_MilpChildResolveAblation(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  LpModel m = TightWindowPackageIlp();
+  double iters = 0, dual_iters = 0, nodes = 0, objective = 0;
+  double fixed = 0, pruned = 0;
+  for (auto _ : state) {
+    MilpOptions opts;
+    opts.use_dual_simplex = mode >= 1;
+    opts.node_presolve = mode >= 2;
+    opts.max_nodes = 20000;
+    opts.time_limit_s = 60.0;
+    auto r = pb::solver::SolveMilp(m, opts);
+    if (!r.ok() || !r->has_solution()) {
+      state.SkipWithError("MILP failed");
+      return;
+    }
+    iters = static_cast<double>(r->lp_iterations);
+    dual_iters = static_cast<double>(r->lp_dual_iterations);
+    nodes = static_cast<double>(r->nodes);
+    objective = r->objective;
+    fixed = static_cast<double>(r->presolve_fixed_bounds);
+    pruned = static_cast<double>(r->presolve_infeasible_children);
+  }
+  state.SetLabel(mode == 0   ? "warm_primal"
+                 : mode == 1 ? "warm_dual"
+                             : "warm_dual_presolve");
+  state.counters["lp_iterations"] = iters;
+  state.counters["lp_dual_iterations"] = dual_iters;
+  state.counters["bnb_nodes"] = nodes;
+  state.counters["objective"] = objective;
+  state.counters["presolve_fixed_bounds"] = fixed;
+  state.counters["presolve_infeasible_children"] = pruned;
+}
+BENCHMARK(BM_MilpChildResolveAblation)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Node-presolve ablation on a propagation-heavy shape: small COUNT = k
+// over integer weights with a half-open SUM window, so branched children
+// frequently become infeasible by bound propagation alone and COUNT
+// saturation fixes implied binaries. Same optimum both ways (asserted);
+// presolve cuts both the node count and the LP iterations.
+void BM_MilpNodePresolveAblation(benchmark::State& state) {
+  const bool presolve = state.range(0) != 0;
+  pb::Rng rng(21);
+  LpModel m;
+  std::vector<LinearTerm> count, weight;
+  for (int j = 0; j < 60; ++j) {
+    m.AddVariable("x" + std::to_string(j), 0, 1,
+                  rng.UniformReal(1.0, 100.0), true);
+    count.push_back({j, 1.0});
+    weight.push_back({j, std::floor(rng.UniformReal(100.0, 900.0))});
+  }
+  m.AddConstraint("count", count, 3, 3);
+  m.AddConstraint("weight", weight, 800.5, 801.0);
+  m.SetSense(ObjectiveSense::kMaximize);
+  double iters = 0, nodes = 0, fixed = 0, pruned = 0, objective = 0;
+  for (auto _ : state) {
+    MilpOptions opts;
+    opts.node_presolve = presolve;
+    opts.time_limit_s = 60.0;
+    auto r = pb::solver::SolveMilp(m, opts);
+    if (!r.ok() || !r->has_solution()) {
+      state.SkipWithError("MILP failed");
+      return;
+    }
+    iters = static_cast<double>(r->lp_iterations);
+    nodes = static_cast<double>(r->nodes);
+    fixed = static_cast<double>(r->presolve_fixed_bounds);
+    pruned = static_cast<double>(r->presolve_infeasible_children);
+    objective = r->objective;
+  }
+  state.SetLabel(presolve ? "presolve_on" : "presolve_off");
+  state.counters["lp_iterations"] = iters;
+  state.counters["bnb_nodes"] = nodes;
+  state.counters["presolve_fixed_bounds"] = fixed;
+  state.counters["presolve_infeasible_children"] = pruned;
+  state.counters["objective"] = objective;
+}
+BENCHMARK(BM_MilpNodePresolveAblation)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // Cross-solve reuse: one MilpWarmStart threaded through a sequence of

@@ -39,21 +39,32 @@ Result<std::vector<double>> ComputeAggWeights(
   db::ExprPtr bound = agg.arg->Clone();
   PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
   if (agg.func == db::AggFunc::kCount) {
-    // COUNT(col) only needs the null mask: weight 1 where non-null.
+    // COUNT(col) only needs the null mask, which every storage layout
+    // maintains — including the kNull (untyped Value) fallback, whose
+    // cells used to drop to the per-row Eval path below.
     if (bound->kind == db::ExprKind::kColumnRef && bound->column_index >= 0 &&
         static_cast<size_t>(bound->column_index) <
             table.schema().num_columns()) {
       const db::Column& col = table.column_data(bound->column_index);
-      if (col.storage_type() != db::ValueType::kNull) {
-        const db::NullBitmap& nulls = col.nulls();
+      const db::NullBitmap& nulls = col.nulls();
+      if (nulls.null_count() == static_cast<int64_t>(col.size())) {
+        // All-NULL column (e.g. a kNull-typed attribute that never saw a
+        // value): every weight is zero — validate the indices and return
+        // the zero fill without touching the bitmap.
         for (size_t i = 0; i < rows.size(); ++i) {
           if (rows[i] >= col.size()) {
             return Status::OutOfRange("row index out of range");
           }
-          w[i] = nulls.Test(rows[i]) ? 0.0 : 1.0;
         }
         return w;
       }
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] >= col.size()) {
+          return Status::OutOfRange("row index out of range");
+        }
+        w[i] = nulls.Test(rows[i]) ? 0.0 : 1.0;
+      }
+      return w;
     }
     for (size_t i = 0; i < rows.size(); ++i) {
       if (rows[i] >= table.num_rows()) {

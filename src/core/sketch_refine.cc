@@ -251,6 +251,7 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     PB_ASSIGN_OR_RETURN(solver::MilpResult sk,
                         solver::SolveMilp(sketch, sketch_milp));
     out.lp_iterations += sk.lp_iterations;
+    out.lp_dual_iterations += sk.lp_dual_iterations;
     out.sketch_seconds += phase_timer.ElapsedSeconds();
     if (!sk.has_solution()) break;  // sketch infeasible: give up
 
@@ -369,6 +370,7 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     for (const RefineTask& task : tasks) {
       PB_RETURN_IF_ERROR(task.status);
       out.lp_iterations += task.solution.lp_iterations;
+      out.lp_dual_iterations += task.solution.lp_dual_iterations;
     }
 
     // Deterministic merge in refine order. The merged package stands only
@@ -432,6 +434,7 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
           PB_ASSIGN_OR_RETURN(
               fresh, solver::SolveMilp(build_sub(g, others), repair_milp));
           out.lp_iterations += fresh.lp_iterations;
+          out.lp_dual_iterations += fresh.lp_dual_iterations;
           sol = &fresh;
         }
         if (!sol->has_solution()) {
@@ -465,10 +468,33 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       continue;
     }
     if (!valid) {
-      // Should not happen (the repair pass's last group enforces exact
-      // residuals); treat defensively as a failed attempt.
-      ++out.backtracks;
-      continue;
+      // The repair pass's last group enforces exact residuals, so a fully
+      // repaired package that still fails validation either missed a row
+      // by solver-scale round-off (IsValidPackage compares exactly while
+      // the solver accepts feas_tol slack) or broke a real invariant.
+      // Distinguish the two: a round-off near-miss is an honest failed
+      // attempt — and retrying is deterministic (same sketch, same
+      // excluded set), so stop rather than burn backtracks on identical
+      // failures — while a gross violation is surfaced as an error
+      // instead of the old silent backtrack, which could only hand back
+      // found=false over an invalid solve.
+      constexpr double kRowSlack = 1e-5;
+      bool near_valid = true;
+      for (size_t r = 0; r < rows.size() && near_valid; ++r) {
+        double act = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          if (mult[i] != 0) {
+            act += rows[r].w[i] * static_cast<double>(mult[i]);
+          }
+        }
+        double slack = kRowSlack * std::max(1.0, std::abs(act));
+        near_valid =
+            act >= rows[r].lo - slack && act <= rows[r].hi + slack;
+      }
+      if (near_valid) break;  // tolerance drift: report found == false
+      return Status::Internal(
+          "SketchRefine repair produced an invalid package despite exact "
+          "residual propagation (solver invariant violated)");
     }
     out.found = true;
     PB_ASSIGN_OR_RETURN(out.objective, PackageObjective(aq, pkg));

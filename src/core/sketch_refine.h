@@ -79,6 +79,9 @@ struct SketchRefineResult {
   /// Total simplex iterations across every MILP solved (sketch, refine,
   /// repair) — the substrate-cost metric the warm-start benchmarks compare.
   int64_t lp_iterations = 0;
+  /// Subset of lp_iterations spent in dual-simplex child re-solves
+  /// (0 when milp.use_dual_simplex or milp.warm_start_lps is off).
+  int64_t lp_dual_iterations = 0;
   double partition_seconds = 0.0;
   double sketch_seconds = 0.0;
   double refine_seconds = 0.0;

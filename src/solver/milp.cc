@@ -45,6 +45,9 @@ struct Node {
   Bounds bounds;
   double bound;      // parent LP objective (optimistic bound for this node)
   LpBasis basis;     // parent's optimal basis (empty = cold start)
+  /// Per-row activity ranges under `bounds`, maintained incrementally down
+  /// the tree by node presolve (empty when node_presolve is off).
+  std::vector<RowActivityBounds> acts;
   int branch_var = -1;      // variable branched on to create this node
   double branch_frac = 0.0; // fractional part of the parent's LP value
   bool branch_up = false;   // ceil side (vs floor side)
@@ -58,6 +61,143 @@ struct NodeOrder {
     return maximize ? a.bound < b.bound : a.bound > b.bound;
   }
 };
+
+/// Recomputes one row's activity range from scratch under `bounds` (the
+/// fallback when infinite contributions make the incremental form
+/// ill-defined).
+RowActivityBounds RowActivityUnder(const LpModel& model, int row,
+                                   const Bounds& bounds) {
+  double lo = 0.0, hi = 0.0;
+  for (const LinearTerm& t : model.constraint(row).terms) {
+    RowActivityBounds r =
+        TermActivityRange(t.coeff, bounds[t.var].first, bounds[t.var].second);
+    lo += r.min;
+    hi += r.max;
+  }
+  return {lo, hi};
+}
+
+/// Node presolve: propagates a branched bound through the row activity
+/// ranges. On entry `bounds` holds the child's bounds with `changed_var`
+/// already tightened while `acts` still reflects that variable's old
+/// [old_lb, old_ub]; both are updated in place. Tightening is applied to
+/// integer variables only, and the ceil/floor step may cut LP-fractional
+/// points of the child's relaxation (e.g. 2x <= 1 rounds x's bound from
+/// 0.5 to 0) — what is preserved exactly is the child's INTEGER feasible
+/// set, so the MILP answer never changes, only the relaxation bounds and
+/// the search path. A COUNT = k row whose minimum activity reaches k this
+/// way fixes every remaining binary to 0 at once. Returns false when a
+/// row's activity range can no longer meet its bounds: the child is
+/// infeasible and needs no LP at all. `tightened` counts bound changes
+/// beyond the branched one.
+bool PropagateBranchedBound(const LpModel& model, int changed_var,
+                            double old_lb, double old_ub, double int_tol,
+                            Bounds* bounds,
+                            std::vector<RowActivityBounds>* acts,
+                            int64_t* tightened) {
+  constexpr double kFeasEps = 1e-7;
+  const auto& vrows = model.variable_rows();
+  const int m = model.num_constraints();
+
+  // Per-variable bounds currently folded into `acts`. A tightened variable
+  // goes onto the queue; popping it folds the delta into its rows.
+  Bounds reflected = *bounds;
+  reflected[changed_var] = {old_lb, old_ub};
+
+  std::vector<int> var_queue = {changed_var};
+  std::vector<char> var_queued(bounds->size(), 0);
+  var_queued[changed_var] = 1;
+  std::vector<int> row_queue;
+  std::vector<char> row_queued(m, 0);
+
+  // Tightening budget (row visits). Float drift on dense package rows
+  // could otherwise re-tighten forever; once spent, rows still drain for
+  // their activity updates and infeasibility checks but produce no new
+  // tightenings — stopping early is sound, never wrong.
+  int row_budget = 8 * m + 64;
+
+  while (!var_queue.empty() || !row_queue.empty()) {
+    if (!var_queue.empty()) {
+      // Fold one variable's bound delta into every row it touches. This
+      // queue always drains fully so `acts` ends consistent with `bounds`
+      // (children inherit it).
+      int v = var_queue.back();
+      var_queue.pop_back();
+      var_queued[v] = 0;
+      auto [olb, oub] = reflected[v];
+      auto [nlb, nub] = (*bounds)[v];
+      reflected[v] = (*bounds)[v];
+      for (const RowTerm& rt : vrows[v]) {
+        RowActivityBounds& ra = (*acts)[rt.row];
+        RowActivityBounds was = TermActivityRange(rt.coeff, olb, oub);
+        RowActivityBounds now = TermActivityRange(rt.coeff, nlb, nub);
+        if (std::isfinite(was.min) && std::isfinite(was.max) &&
+            std::isfinite(ra.min) && std::isfinite(ra.max)) {
+          ra.min += now.min - was.min;
+          ra.max += now.max - was.max;
+        } else {
+          // `reflected` is exactly what this row's range must mirror
+          // mid-propagation (v's entry was just advanced).
+          ra = RowActivityUnder(model, rt.row, reflected);
+        }
+        if (!row_queued[rt.row]) {
+          row_queued[rt.row] = 1;
+          row_queue.push_back(rt.row);
+        }
+      }
+      continue;
+    }
+
+    int r = row_queue.back();
+    row_queue.pop_back();
+    row_queued[r] = 0;
+    const Constraint& con = model.constraint(r);
+    const RowActivityBounds& ra = (*acts)[r];
+    if (ra.min > con.hi + kFeasEps || ra.max < con.lo - kFeasEps) {
+      return false;  // the row cannot be satisfied: infeasible child
+    }
+    if (--row_budget < 0) continue;
+
+    for (const LinearTerm& t : con.terms) {
+      if (!model.variable(t.var).is_integer) continue;
+      double l = (*bounds)[t.var].first, u = (*bounds)[t.var].second;
+      if (l == u) continue;
+      // Residual row range without this term, against the bounds `acts`
+      // reflects for it (which may lag `bounds` while the var is queued).
+      RowActivityBounds self = TermActivityRange(
+          t.coeff, reflected[t.var].first, reflected[t.var].second);
+      double rest_min = ra.min - self.min;
+      double rest_max = ra.max - self.max;
+      double new_l = l, new_u = u;
+      if (t.coeff > 0) {
+        if (std::isfinite(con.hi) && std::isfinite(rest_min)) {
+          new_u = std::min(new_u, (con.hi - rest_min) / t.coeff);
+        }
+        if (std::isfinite(con.lo) && std::isfinite(rest_max)) {
+          new_l = std::max(new_l, (con.lo - rest_max) / t.coeff);
+        }
+      } else {
+        if (std::isfinite(con.hi) && std::isfinite(rest_min)) {
+          new_l = std::max(new_l, (con.hi - rest_min) / t.coeff);
+        }
+        if (std::isfinite(con.lo) && std::isfinite(rest_max)) {
+          new_u = std::min(new_u, (con.lo - rest_max) / t.coeff);
+        }
+      }
+      if (std::isfinite(new_l)) new_l = std::ceil(new_l - int_tol);
+      if (std::isfinite(new_u)) new_u = std::floor(new_u + int_tol);
+      if (new_l <= l && new_u >= u) continue;  // no improvement
+      if (new_l > new_u) return false;         // empty domain
+      (*bounds)[t.var] = {new_l, new_u};
+      ++*tightened;
+      if (!var_queued[t.var]) {
+        var_queued[t.var] = 1;
+        var_queue.push_back(t.var);
+      }
+    }
+  }
+  return true;
+}
 
 /// Branch-variable selection: pseudocost scoring once any history exists,
 /// the caller's most-fractional pick (`fallback`) before that. The score
@@ -122,7 +262,7 @@ bool TryRound(const LpModel& model, const Bounds& bounds,
 /// Returns true with an integer-feasible point in *out on success.
 bool TryDive(const LpModel& model, Bounds bounds, const SimplexOptions& lp_opts,
              double int_tol, const LpBasis* seed, int64_t* lp_iterations,
-             std::vector<double>* out) {
+             int64_t* lp_dual_iterations, std::vector<double>* out) {
   constexpr int kMaxDepth = 400;
   const bool warm = seed != nullptr;
   LpBasis chain;
@@ -131,6 +271,7 @@ bool TryDive(const LpModel& model, Bounds bounds, const SimplexOptions& lp_opts,
     auto lp = SolveLp(model, lp_opts, &bounds, warm ? &chain : nullptr);
     if (!lp.ok()) return false;
     *lp_iterations += lp->iterations;
+    *lp_dual_iterations += lp->dual_iterations;
     if (lp->status != LpStatus::kOptimal) return false;
     if (warm) chain = std::move(lp->basis);
     int j = MostFractionalVariable(model, lp->x, int_tol);
@@ -164,6 +305,12 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
   // warm_start_lps=false is the faithful pre-warm-start ablation: cold LP
   // solves, most-fractional branching, and no cross-solve state at all.
   const bool warm_enabled = options.warm_start_lps;
+  // The MilpOptions knob governs every LP this solve runs (only warm
+  // bases can enter the dual, so warm_start_lps=false makes it moot).
+  SimplexOptions base_lp = options.lp;
+  base_lp.use_dual_simplex = options.use_dual_simplex;
+  const bool presolve_enabled =
+      options.node_presolve && model.num_constraints() > 0;
 
   // Cross-solve warm-start state: usable only while the model's structure
   // matches what the state was learned on; reset otherwise.
@@ -192,11 +339,31 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     root_bounds[j] = {lo, hi};
   }
 
+  // Root activity ranges for node presolve: the model-level cache when the
+  // integer tightening above changed nothing (the common case — package
+  // binaries already have integral bounds), a fresh per-row pass otherwise.
+  std::vector<RowActivityBounds> root_acts;
+  if (presolve_enabled) {
+    root_acts = model.row_activity_bounds();
+    bool bounds_match_model = true;
+    for (int j = 0; j < n && bounds_match_model; ++j) {
+      const Variable& v = model.variable(j);
+      bounds_match_model =
+          root_bounds[j].first == v.lb && root_bounds[j].second == v.ub;
+    }
+    if (!bounds_match_model) {
+      for (int i = 0; i < model.num_constraints(); ++i) {
+        root_acts[i] = RowActivityUnder(model, i, root_bounds);
+      }
+    }
+  }
+
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open(
       NodeOrder{maximize});
   {
     Node root;
     root.bounds = std::move(root_bounds);
+    root.acts = std::move(root_acts);
     root.bound = maximize ? kInfinity : -kInfinity;
     if (warm != nullptr) root.basis = warm->root_basis;
     open.push(std::move(root));
@@ -232,9 +399,9 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     if (have_incumbent && !better(node.bound, incumbent_obj)) continue;
 
     ++result.nodes;
-    SimplexOptions lp_opts = options.lp;
+    SimplexOptions lp_opts = base_lp;
     if (node.lp_limit_boost > 0) {
-      lp_opts.max_iterations = EffectiveIterationLimit(model, options.lp)
+      lp_opts.max_iterations = EffectiveIterationLimit(model, base_lp)
                                << node.lp_limit_boost;
     }
     const LpBasis* start =
@@ -242,6 +409,7 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     PB_ASSIGN_OR_RETURN(LpSolution lp,
                         SolveLp(model, lp_opts, &node.bounds, start));
     result.lp_iterations += lp.iterations;
+    result.lp_dual_iterations += lp.dual_iterations;
 
     if (lp.status == LpStatus::kInfeasible) continue;
     if (lp.status == LpStatus::kUnbounded) {
@@ -338,9 +506,10 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
       // was re-queued after an LP iteration limit).
       if (!have_incumbent && node.branch_var < 0) {
         std::vector<double> dived;
-        if (TryDive(model, node.bounds, options.lp, options.int_tol,
+        if (TryDive(model, node.bounds, base_lp, options.int_tol,
                     warm_enabled ? &lp.basis : nullptr,
-                    &result.lp_iterations, &dived)) {
+                    &result.lp_iterations, &result.lp_dual_iterations,
+                    &dived)) {
           have_incumbent = true;
           incumbent_obj = model.ObjectiveValue(dived);
           incumbent = std::move(dived);
@@ -349,7 +518,11 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     }
 
     // Branch: floor side and ceil side, both warm-started from this node's
-    // optimal basis (they differ from it by one variable bound).
+    // optimal basis (they differ from it by one variable bound). Node
+    // presolve then propagates that one bound through the row activity
+    // ranges: children whose rows become unsatisfiable are discarded with
+    // zero LP work, and implied integer fixings ride into the child's
+    // bound set, which the dual re-solve picks up directly.
     int branch_var = warm_enabled
                          ? SelectBranchVariable(model, lp.x, options.int_tol,
                                                 pc, frac_var)
@@ -357,6 +530,8 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     if (branch_var < 0) branch_var = frac_var;
     double xv = lp.x[branch_var];
     double frac = xv - std::floor(xv);
+    const double parent_lb = node.bounds[branch_var].first;
+    const double parent_ub = node.bounds[branch_var].second;
     node.basis.clear();  // superseded by lp.basis; don't copy it into `down`
     Node down = node;
     down.bound = node_bound;
@@ -367,9 +542,16 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     down.lp_limit_boost = 0;
     down.bounds[branch_var].second =
         std::min(down.bounds[branch_var].second, std::floor(xv));
-    if (down.bounds[branch_var].first <= down.bounds[branch_var].second) {
-      open.push(std::move(down));
+    bool push_down =
+        down.bounds[branch_var].first <= down.bounds[branch_var].second;
+    if (push_down && presolve_enabled &&
+        !PropagateBranchedBound(model, branch_var, parent_lb, parent_ub,
+                                options.int_tol, &down.bounds, &down.acts,
+                                &result.presolve_fixed_bounds)) {
+      ++result.presolve_infeasible_children;
+      push_down = false;
     }
+    if (push_down) open.push(std::move(down));
     Node up = std::move(node);
     up.bound = node_bound;
     if (warm_enabled) up.basis = std::move(lp.basis);
@@ -379,9 +561,15 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     up.lp_limit_boost = 0;
     up.bounds[branch_var].first =
         std::max(up.bounds[branch_var].first, std::ceil(xv));
-    if (up.bounds[branch_var].first <= up.bounds[branch_var].second) {
-      open.push(std::move(up));
+    bool push_up = up.bounds[branch_var].first <= up.bounds[branch_var].second;
+    if (push_up && presolve_enabled &&
+        !PropagateBranchedBound(model, branch_var, parent_lb, parent_ub,
+                                options.int_tol, &up.bounds, &up.acts,
+                                &result.presolve_fixed_bounds)) {
+      ++result.presolve_infeasible_children;
+      push_up = false;
     }
+    if (push_up) open.push(std::move(up));
   }
 
   // Best remaining optimistic bound over ALL unexplored work: open nodes

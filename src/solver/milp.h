@@ -82,6 +82,22 @@ struct MilpOptions {
   /// pre-warm-start solver — cold slack-basis solves, most-fractional
   /// branching, and `warm` ignored — kept as an ablation/benchmark knob.
   bool warm_start_lps = true;
+  /// Re-optimize warm child LPs with the dual simplex (the parent basis is
+  /// dual-feasible after a branch tightens one bound, so a few dual pivots
+  /// replace the phase-1 primal repair). Governs every LP this solve runs
+  /// (overrides lp.use_dual_simplex); no effect without warm_start_lps,
+  /// since only warm bases can enter the dual. Off = PR 3's warm-primal
+  /// re-solve path exactly (ablation knob).
+  bool use_dual_simplex = true;
+  /// Propagate each branched bound through per-node row activity ranges
+  /// before solving the child's LP: tighten implied integer bounds (COUNT
+  /// = k rows fix many binaries at once) and discard children whose rows
+  /// can no longer be satisfied without any LP work. Preserves the
+  /// integer feasible set exactly (the MILP answer never changes); the
+  /// ceil/floor tightening may trim LP-fractional corners of a child's
+  /// relaxation, so only the bounds and the search path move. Off = every
+  /// child pays a full LP (ablation knob).
+  bool node_presolve = true;
   /// Optional cross-solve state (borrowed, in/out); see MilpWarmStart.
   MilpWarmStart* warm = nullptr;
   SimplexOptions lp;
@@ -96,6 +112,13 @@ struct MilpResult {
   /// count individually — see MilpOptions::max_nodes).
   int64_t nodes = 0;
   int64_t lp_iterations = 0; ///< total simplex iterations
+  /// Subset of lp_iterations spent in dual-simplex child re-solves.
+  int64_t lp_dual_iterations = 0;
+  /// Variable bounds tightened by node presolve across the whole tree.
+  int64_t presolve_fixed_bounds = 0;
+  /// Children proven infeasible by bound propagation alone (no LP solved,
+  /// not counted in `nodes`).
+  int64_t presolve_infeasible_children = 0;
   double solve_seconds = 0.0;
 
   bool has_solution() const {

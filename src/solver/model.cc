@@ -12,6 +12,7 @@ int LpModel::AddVariable(std::string name, double lb, double ub,
                          double objective, bool is_integer) {
   if (name.empty()) name = "x" + std::to_string(variables_.size());
   variables_.push_back({std::move(name), lb, ub, objective, is_integer});
+  structural_caches_valid_ = false;
   return static_cast<int>(variables_.size()) - 1;
 }
 
@@ -27,7 +28,50 @@ int LpModel::AddConstraint(std::string name, std::vector<LinearTerm> terms,
     if (coeff != 0.0) clean.push_back({var, coeff});
   }
   constraints_.push_back({std::move(name), std::move(clean), lo, hi});
+  structural_caches_valid_ = false;
   return static_cast<int>(constraints_.size()) - 1;
+}
+
+namespace {
+
+/// Fills both structural caches in one pass over the rows.
+void BuildStructuralCaches(const std::vector<Variable>& variables,
+                           const std::vector<Constraint>& constraints,
+                           std::vector<RowActivityBounds>* acts,
+                           std::vector<std::vector<RowTerm>>* vrows) {
+  acts->assign(constraints.size(), RowActivityBounds{});
+  vrows->assign(variables.size(), {});
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    double lo = 0.0, hi = 0.0;
+    for (const LinearTerm& t : constraints[i].terms) {
+      const Variable& v = variables[t.var];
+      RowActivityBounds r = TermActivityRange(t.coeff, v.lb, v.ub);
+      lo += r.min;
+      hi += r.max;
+      (*vrows)[t.var].push_back({static_cast<int>(i), t.coeff});
+    }
+    (*acts)[i] = {lo, hi};
+  }
+}
+
+}  // namespace
+
+const std::vector<RowActivityBounds>& LpModel::row_activity_bounds() const {
+  if (!structural_caches_valid_) {
+    BuildStructuralCaches(variables_, constraints_, &row_activity_cache_,
+                          &variable_rows_cache_);
+    structural_caches_valid_ = true;
+  }
+  return row_activity_cache_;
+}
+
+const std::vector<std::vector<RowTerm>>& LpModel::variable_rows() const {
+  if (!structural_caches_valid_) {
+    BuildStructuralCaches(variables_, constraints_, &row_activity_cache_,
+                          &variable_rows_cache_);
+    structural_caches_valid_ = true;
+  }
+  return variable_rows_cache_;
 }
 
 bool LpModel::has_integer_variables() const {

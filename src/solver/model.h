@@ -48,6 +48,22 @@ struct Constraint {
   double hi = kInfinity;
 };
 
+/// The range a row's activity a_i'x can take over the variable box:
+/// [min, max] with +-kInfinity when an unbounded variable contributes.
+/// Branch-and-bound's node presolve seeds its bound propagation from the
+/// model-level cache of these and maintains them incrementally per node.
+struct RowActivityBounds {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One entry of the transposed sparsity pattern: variable j appears in
+/// `row` with coefficient `coeff`.
+struct RowTerm {
+  int row = -1;
+  double coeff = 0.0;
+};
+
 enum class ObjectiveSense { kMinimize, kMaximize };
 
 /// A MILP under construction. Indices returned by AddVariable/AddConstraint
@@ -93,6 +109,18 @@ class LpModel {
   /// CPLEX LP-format text (for debugging / interop with external solvers).
   std::string ToLpFormat() const;
 
+  /// Per-row activity ranges under the model's own variable bounds,
+  /// computed lazily on first call and cached until the next
+  /// AddVariable/AddConstraint. Size == num_constraints(). Not thread-safe
+  /// on the first (cache-filling) call; solvers own their models here, so
+  /// warm the cache before sharing a model across threads if that changes.
+  const std::vector<RowActivityBounds>& row_activity_bounds() const;
+
+  /// Transposed sparsity: variable_rows()[j] lists every (row, coeff) the
+  /// variable appears in. Lazily cached alongside row_activity_bounds();
+  /// the same thread-safety caveat applies.
+  const std::vector<std::vector<RowTerm>>& variable_rows() const;
+
   /// Order-sensitive hash of the model's structure: dimensions, sense,
   /// integrality pattern, and row sparsity (variable indices, not
   /// coefficient values). Warm-start state (bases, pseudocost history) is
@@ -104,7 +132,21 @@ class LpModel {
   std::vector<Variable> variables_;
   std::vector<Constraint> constraints_;
   ObjectiveSense sense_ = ObjectiveSense::kMinimize;
+  // Lazy structural caches (see row_activity_bounds() / variable_rows());
+  // invalidated by the builder calls.
+  mutable std::vector<RowActivityBounds> row_activity_cache_;
+  mutable std::vector<std::vector<RowTerm>> variable_rows_cache_;
+  mutable bool structural_caches_valid_ = false;
 };
+
+/// The [min, max] contribution of one term coeff * x over x in [lb, ub]
+/// (coeff must be nonzero; infinite bounds give infinite endpoints).
+inline RowActivityBounds TermActivityRange(double coeff, double lb,
+                                           double ub) {
+  double a = coeff * lb;
+  double b = coeff * ub;
+  return a <= b ? RowActivityBounds{a, b} : RowActivityBounds{b, a};
+}
 
 }  // namespace pb::solver
 

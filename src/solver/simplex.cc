@@ -60,18 +60,24 @@ class Simplex {
     bool warm_loaded = warm_start != nullptr && !warm_start->empty() &&
                        LoadBasis(*warm_start);
     if (!warm_loaded) InitBasis();
+    // The dual simplex is only ever entered on a warm basis: a cold slack
+    // basis is not dual-feasible in general, and the primal phases are the
+    // right engine for it anyway.
+    bool allow_dual = warm_loaded && opts_.use_dual_simplex;
     for (;;) {
-      LpSolution out = RunFromCurrentBasis();
+      LpSolution out = RunFromCurrentBasis(allow_dual);
       // Never conclude infeasible/unbounded from a warm start that hit
       // numerical trouble (a singular refactorization aborts a phase
       // early and can fake either verdict on an ill-conditioned inherited
-      // basis): restart from the perfectly conditioned slack basis and
-      // let the cold solve have the final word. Iterations accumulate
-      // across the restart, so the accounting stays honest.
+      // basis, and an aborted dual run reports infeasible as its trouble
+      // signal): restart from the perfectly conditioned slack basis and
+      // let the cold primal solve have the final word. Iterations
+      // accumulate across the restart, so the accounting stays honest.
       if (warm_loaded && numerical_trouble_ &&
           (out.status == LpStatus::kInfeasible ||
            out.status == LpStatus::kUnbounded)) {
         warm_loaded = false;
+        allow_dual = false;
         numerical_trouble_ = false;
         InitBasis();
         continue;
@@ -81,45 +87,82 @@ class Simplex {
   }
 
  private:
-  /// Two-phase solve from whatever basis is currently loaded.
-  LpSolution RunFromCurrentBasis() {
+  /// How one phase of the solve ended.
+  enum class PhaseResult {
+    kConverged,    ///< no improving direction remains (optimal / stalled)
+    kNoDirection,  ///< phase 2 found an unbounded improving ray
+    kLimit,        ///< iteration budget exhausted with work remaining
+  };
+
+  /// The single end-of-solve classification point. Every path through
+  /// RunFromCurrentBasis funnels into this so statuses, counters, and basis
+  /// export can never drift apart (they used to be duplicated per exit and
+  /// mislabeled an optimum proven exactly at the iteration limit).
+  LpSolution Finish(LpStatus status) {
     LpSolution out;
+    out.status = status;
+    out.iterations = iterations_;
+    out.dual_iterations = dual_iterations_;
+    if (status == LpStatus::kOptimal) {
+      out.x.assign(x_.begin(), x_.begin() + n_);
+      double obj = 0.0;
+      for (int j = 0; j < n_; ++j) obj += cost_[j] * x_[j];
+      out.objective = sign_ * obj;
+    }
+    if (status == LpStatus::kOptimal || status == LpStatus::kIterationLimit) {
+      ExportBasis(&out.basis);
+    }
+    return out;
+  }
+
+  /// Solve from whatever basis is currently loaded: dual re-optimization
+  /// when the basis qualifies (allow_dual), then the primal phases.
+  LpSolution RunFromCurrentBasis(bool allow_dual) {
+    // ---- Dual simplex: a warm basis whose bounds moved is bound-
+    // infeasible but (coming from a parent's optimum) still dual-feasible;
+    // restore primal feasibility in a few dual pivots instead of a phase-1
+    // repair. On success the primal phases below exit immediately.
+    if (allow_dual && TotalInfeasibility() > opts_.feas_tol && DualFeasible()) {
+      switch (SolveDual()) {
+        case DualOutcome::kPrimalFeasible:
+          break;  // optimal up to tolerances; the primal phases confirm
+        case DualOutcome::kInfeasible:
+          // A violated row with no eligible entering column is a valid
+          // infeasibility certificate (unless numerical trouble fired, in
+          // which case Run() retries cold before trusting this verdict).
+          return Finish(LpStatus::kInfeasible);
+        case DualOutcome::kLimit:
+          return Finish(LpStatus::kIterationLimit);
+        case DualOutcome::kTrouble:
+          // Numerically failed dual run: report infeasible WITH
+          // numerical_trouble_ set, which Run() converts into a cold
+          // primal restart — the dual path never concludes infeasible on
+          // its own after trouble.
+          numerical_trouble_ = true;
+          return Finish(LpStatus::kInfeasible);
+      }
+    }
 
     // ---- Phase 1: drive basic bound violations to zero. A warm basis that
     // is primal feasible under the current bounds exits immediately; one
     // that inherited now-violated bounds gets repaired here.
-    bool feasible = SolvePhase(/*phase1=*/true);
-    if (iterations_ >= max_iter_) {
-      out.status = LpStatus::kIterationLimit;
-      out.iterations = iterations_;
-      ExportBasis(&out.basis);
-      return out;
+    if (SolvePhase(/*phase1=*/true) == PhaseResult::kLimit) {
+      return Finish(LpStatus::kIterationLimit);
     }
-    if (!feasible || TotalInfeasibility() > opts_.feas_tol * (1 + m_)) {
-      out.status = LpStatus::kInfeasible;
-      out.iterations = iterations_;
-      return out;
+    if (TotalInfeasibility() > opts_.feas_tol * (1 + m_)) {
+      return Finish(LpStatus::kInfeasible);
     }
 
     // ---- Phase 2: optimize the true objective.
-    bool optimal = SolvePhase(/*phase1=*/false);
-    out.iterations = iterations_;
-    if (iterations_ >= max_iter_) {
-      out.status = LpStatus::kIterationLimit;
-      ExportBasis(&out.basis);
-      return out;
+    switch (SolvePhase(/*phase1=*/false)) {
+      case PhaseResult::kLimit:
+        return Finish(LpStatus::kIterationLimit);
+      case PhaseResult::kNoDirection:
+        return Finish(LpStatus::kUnbounded);
+      case PhaseResult::kConverged:
+        break;
     }
-    if (!optimal) {
-      out.status = LpStatus::kUnbounded;
-      return out;
-    }
-    out.status = LpStatus::kOptimal;
-    out.x.assign(x_.begin(), x_.begin() + n_);
-    double obj = 0.0;
-    for (int j = 0; j < n_; ++j) obj += cost_[j] * x_[j];
-    out.objective = sign_ * obj;
-    ExportBasis(&out.basis);
-    return out;
+    return Finish(LpStatus::kOptimal);
   }
 
  private:
@@ -331,16 +374,40 @@ class Simplex {
     return d;
   }
 
-  /// Runs one phase to completion. Returns:
-  ///   phase 1 — true when no improving direction remains (then feasibility
-  ///             is judged by TotalInfeasibility());
-  ///   phase 2 — true for optimal, false for unbounded.
-  /// May also stop on the iteration limit (caller checks iterations_).
-  bool SolvePhase(bool phase1) {
+  /// Applies the product-form basis-inverse update for a pivot on
+  /// `leave_row` with Ftran column `alpha` (shared by the primal phases and
+  /// the dual simplex). A pivot element below tolerance falls back to a
+  /// full refactorization; returns false when that refactorization finds
+  /// the basis singular (numerical trouble — caller aborts the phase).
+  bool PivotUpdate(int leave_row, const std::vector<double>& alpha) {
+    double piv = alpha[leave_row];
+    if (std::abs(piv) < opts_.pivot_tol) return Refactorize();
+    double* prow = &binv_[leave_row * m_];
+    for (int k = 0; k < m_; ++k) prow[k] /= piv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave_row) continue;
+      double f = alpha[i];
+      if (f == 0.0) continue;
+      double* row = &binv_[i * m_];
+      for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
+    }
+    return true;
+  }
+
+  /// Runs one phase to completion. kConverged means no improving direction
+  /// remains — phase 1 feasibility is then judged by TotalInfeasibility(),
+  /// phase 2 is optimal; kNoDirection is phase 2's unbounded ray. The
+  /// iteration limit is only reported when an improving direction still
+  /// exists: a solve that proves optimality on the pricing pass after its
+  /// last allowed pivot is kConverged, not kLimit (the old per-phase limit
+  /// checks mislabeled exactly-at-limit optima).
+  PhaseResult SolvePhase(bool phase1) {
     std::vector<double> y, alpha;
     int since_refactor = 0;
-    while (iterations_ < max_iter_) {
-      if (phase1 && TotalInfeasibility() <= opts_.feas_tol) return true;
+    for (;;) {
+      if (phase1 && TotalInfeasibility() <= opts_.feas_tol) {
+        return PhaseResult::kConverged;
+      }
 
       ComputeDuals(phase1, &y);
 
@@ -380,9 +447,10 @@ class Simplex {
       }
       if (enter < 0) {
         // No improving direction: phase-1 stalls (feasible or not);
-        // phase-2 is optimal.
-        return true;
+        // phase-2 is optimal — even when the budget is exactly spent.
+        return PhaseResult::kConverged;
       }
+      if (iterations_ >= max_iter_) return PhaseResult::kLimit;
 
       Ftran(enter, &alpha);
 
@@ -444,9 +512,12 @@ class Simplex {
       if (limit == kInf) {
         // Unbounded direction. In phase 1 this cannot lower a
         // nonnegative objective forever — treat as numerical trouble and
-        // report infeasible via the caller's infeasibility check.
-        if (phase1) numerical_trouble_ = true;
-        return !phase1 ? false : true;
+        // report converged (the caller's infeasibility check decides).
+        if (phase1) {
+          numerical_trouble_ = true;
+          return PhaseResult::kConverged;
+        }
+        return PhaseResult::kNoDirection;
       }
 
       ++iterations_;
@@ -477,33 +548,235 @@ class Simplex {
       basis_[leave_row] = enter;
 
       // Update B^{-1}: row ops so that column `enter` becomes e_{leave_row}.
-      double piv = alpha[leave_row];
-      if (std::abs(piv) < opts_.pivot_tol) {
-        if (!Refactorize()) {
-          numerical_trouble_ = true;
-          return !phase1 ? false : true;
-        }
-        continue;
-      }
-      double* prow = &binv_[leave_row * m_];
-      for (int k = 0; k < m_; ++k) prow[k] /= piv;
-      for (int i = 0; i < m_; ++i) {
-        if (i == leave_row) continue;
-        double f = alpha[i];
-        if (f == 0.0) continue;
-        double* row = &binv_[i * m_];
-        for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
+      if (!PivotUpdate(leave_row, alpha)) {
+        numerical_trouble_ = true;
+        return phase1 ? PhaseResult::kConverged : PhaseResult::kNoDirection;
       }
 
       if (++since_refactor >= opts_.refactor_every) {
         since_refactor = 0;
         if (!Refactorize()) {
           numerical_trouble_ = true;
-          return !phase1 ? false : true;
+          return phase1 ? PhaseResult::kConverged : PhaseResult::kNoDirection;
         }
       }
     }
-    return true;  // iteration limit; caller inspects iterations_
+  }
+
+  /// How a dual-simplex run ended.
+  enum class DualOutcome {
+    kPrimalFeasible,  ///< all basics back in bounds: optimal up to tolerance
+    kInfeasible,      ///< a violated row admits no entering column
+    kLimit,           ///< iteration budget exhausted
+    kTrouble,         ///< numerical failure; caller must re-solve primally
+  };
+
+  /// True when the current basis satisfies the phase-2 optimality (= dual
+  /// feasibility) conditions: nonbasic-at-lower reduced costs nonnegative,
+  /// at-upper nonpositive, free near zero. The entry gate for the dual
+  /// simplex; the tolerance is looser than opt_tol because the inherited
+  /// basis inverse was refactorized from scratch.
+  bool DualFeasible() {
+    std::vector<double> y;
+    ComputeDuals(/*phase1=*/false, &y);
+    const double tol = 100.0 * opts_.opt_tol;
+    for (int j = 0; j < total_; ++j) {
+      if (stat_[j] == VarStat::kBasic) continue;
+      double d = ReducedCost(j, /*phase1=*/false, y);
+      switch (stat_[j]) {
+        case VarStat::kAtLower:
+          if (d < -tol) return false;
+          break;
+        case VarStat::kAtUpper:
+          if (d > tol) return false;
+          break;
+        case VarStat::kFree:
+          if (std::abs(d) > tol) return false;
+          break;
+        case VarStat::kBasic:
+          break;
+      }
+    }
+    return true;
+  }
+
+  /// Bounded-variable dual simplex. Precondition: the basis is
+  /// dual-feasible (DualFeasible()). Each iteration picks the most-violated
+  /// basic variable (dual Dantzig; lowest basic index under Bland's
+  /// fallback), prices the pivot row out of B^{-1}, runs the dual ratio
+  /// test over the nonbasic columns to preserve dual feasibility, and
+  /// pivots with the shared PivotUpdate machinery. Terminates with primal
+  /// feasibility (= optimality), a proven-infeasible row, the iteration
+  /// limit, or numerical trouble.
+  DualOutcome SolveDual() {
+    std::vector<double> y, alpha;
+    int since_refactor = 0;
+    int bad_pivots = 0;
+    for (;;) {
+      // ---- Leaving variable: a basic outside its bounds.
+      bool bland = iterations_ > bland_threshold_;
+      int leave_row = -1;
+      double best_viol = opts_.feas_tol;
+      for (int i = 0; i < m_; ++i) {
+        int b = basis_[i];
+        double viol = std::max(lb_[b] - x_[b], x_[b] - ub_[b]);
+        if (viol <= best_viol) continue;
+        if (bland) {
+          // Anti-cycling: lowest basic variable index among the violated.
+          if (leave_row < 0 || b < basis_[leave_row]) leave_row = i;
+        } else {
+          best_viol = viol;
+          leave_row = i;
+        }
+      }
+      if (leave_row < 0) return DualOutcome::kPrimalFeasible;
+      if (iterations_ >= max_iter_) return DualOutcome::kLimit;
+
+      int leave = basis_[leave_row];
+      // s = +1: above its upper bound, must decrease onto it;
+      // s = -1: below its lower bound, must increase onto it.
+      int s = x_[leave] > ub_[leave] ? +1 : -1;
+      double target = s > 0 ? ub_[leave] : lb_[leave];
+
+      // ---- Dual ratio test over the priced pivot row. rho is row
+      // leave_row of B^{-1}; alpha_j = rho . a_j is how entering j moves
+      // the leaving basic. Eligibility keeps the basic moving toward its
+      // violated bound; walking the ratio-sorted candidates keeps every
+      // reduced cost on its feasible side after the step.
+      const double* rho = &binv_[leave_row * m_];
+      ComputeDuals(/*phase1=*/false, &y);
+      struct Cand {
+        int j;
+        double a;      // priced pivot-row coefficient
+        double ratio;  // dual ratio d_j / (s * a_j), clamped >= 0
+      };
+      std::vector<Cand> cands;
+      for (int j = 0; j < total_; ++j) {
+        if (stat_[j] == VarStat::kBasic) continue;
+        double a = 0.0;
+        for (const auto& [row, coeff] : cols_[j]) a += rho[row] * coeff;
+        double sa = s * a;
+        bool eligible;
+        if (stat_[j] == VarStat::kAtLower) {
+          eligible = sa > opts_.pivot_tol;
+        } else if (stat_[j] == VarStat::kAtUpper) {
+          eligible = sa < -opts_.pivot_tol;
+        } else {  // kFree
+          eligible = std::abs(sa) > opts_.pivot_tol;
+        }
+        if (!eligible) continue;
+        double d = ReducedCost(j, /*phase1=*/false, y);
+        // Nonnegative by dual feasibility (at-lower: d >= 0, sa > 0;
+        // at-upper: d <= 0, sa < 0; free: d ~ 0); clamp entry-tolerance
+        // slack so degenerate steps stay degenerate.
+        double ratio = stat_[j] == VarStat::kFree ? std::abs(d / sa) : d / sa;
+        cands.push_back({j, a, std::max(ratio, 0.0)});
+      }
+
+      // The signed excursion the step must absorb.
+      double delta = x_[leave] - target;
+      int enter = -1;
+      // Bound flips collected by the ratio test: (column, signed step).
+      std::vector<std::pair<int, double>> flips;
+      if (bland) {
+        // Anti-cycling: plain min-ratio with lowest index on ties, no
+        // flips (the termination argument wants one pivot per iteration).
+        double best_ratio = kInf;
+        for (const Cand& c : cands) {
+          if (c.ratio < best_ratio - 1e-12) {
+            best_ratio = c.ratio;
+            enter = c.j;
+          }
+        }
+      } else {
+        // Bound-flipping ratio test: walk the breakpoints in dual-ratio
+        // order (ties prefer the larger |a| for pivot stability). A boxed
+        // candidate whose full range cannot absorb the remaining
+        // excursion is flipped to its other bound — no basis change, and
+        // its reduced cost legitimately crosses zero at this dual step —
+        // and the first candidate that can absorb the rest becomes the
+        // pivot column. On 0/1 package models this replaces strings of
+        // single-bound dual pivots with one pivot plus cheap flips.
+        std::sort(cands.begin(), cands.end(),
+                  [](const Cand& x, const Cand& y) {
+                    if (x.ratio != y.ratio) return x.ratio < y.ratio;
+                    if (std::abs(x.a) != std::abs(y.a)) {
+                      return std::abs(x.a) > std::abs(y.a);
+                    }
+                    return x.j < y.j;
+                  });
+        for (const Cand& c : cands) {
+          double dx = delta / c.a;
+          double range = ub_[c.j] - lb_[c.j];
+          if (stat_[c.j] == VarStat::kFree ||
+              std::abs(dx) <= range + opts_.feas_tol) {
+            enter = c.j;
+            break;
+          }
+          double t = dx > 0 ? range : -range;
+          flips.push_back({c.j, t});
+          // |a * t| < |delta|: the excursion shrinks but keeps its sign.
+          delta -= c.a * t;
+        }
+      }
+      if (enter < 0) {
+        // Even with every eligible column at its most helpful bound the
+        // row cannot reach its range: a primal infeasibility certificate
+        // regardless of the reduced costs (the row is a fixed combination
+        // of original rows). Nothing was applied; the basis is intact.
+        return DualOutcome::kInfeasible;
+      }
+
+      Ftran(enter, &alpha);
+      if (std::abs(alpha[leave_row]) < opts_.pivot_tol) {
+        // The priced row and the Ftran column disagree about the pivot:
+        // the inverse has drifted. Refactorize and retry (the flips were
+        // not applied yet); give up after repeated disagreement.
+        numerical_trouble_ = true;
+        if (++bad_pivots > 2 || !Refactorize()) return DualOutcome::kTrouble;
+        continue;
+      }
+
+      ++iterations_;
+      ++dual_iterations_;
+
+      // ---- Apply the bound flips: each moves a nonbasic column to its
+      // opposite bound and shifts every basic accordingly (an Ftran per
+      // flip, but no pricing pass and no basis change — far cheaper than
+      // the dual pivots they replace).
+      std::vector<double> fcol;
+      for (const auto& [fj, t] : flips) {
+        Ftran(fj, &fcol);
+        for (int i = 0; i < m_; ++i) x_[basis_[i]] -= fcol[i] * t;
+        x_[fj] = t > 0 ? ub_[fj] : lb_[fj];
+        stat_[fj] = t > 0 ? VarStat::kAtUpper : VarStat::kAtLower;
+      }
+
+      // ---- Pivot: the entering variable absorbs what is left of the
+      // leaving basic's excursion past its bound.
+      double dx = (x_[leave] - target) / alpha[leave_row];
+      for (int i = 0; i < m_; ++i) {
+        if (i == leave_row) continue;
+        x_[basis_[i]] -= alpha[i] * dx;
+      }
+      x_[enter] += dx;
+      x_[leave] = target;
+      stat_[leave] = s > 0 ? VarStat::kAtUpper : VarStat::kAtLower;
+      stat_[enter] = VarStat::kBasic;
+      basis_[leave_row] = enter;
+
+      if (!PivotUpdate(leave_row, alpha)) {
+        numerical_trouble_ = true;
+        return DualOutcome::kTrouble;
+      }
+      if (++since_refactor >= opts_.refactor_every) {
+        since_refactor = 0;
+        if (!Refactorize()) {
+          numerical_trouble_ = true;
+          return DualOutcome::kTrouble;
+        }
+      }
+    }
   }
 
   SimplexOptions opts_;
@@ -511,6 +784,7 @@ class Simplex {
   double sign_ = 1.0;
   int64_t max_iter_ = 0;
   int64_t iterations_ = 0;
+  int64_t dual_iterations_ = 0;
   int64_t bland_threshold_ = 0;
   /// A phase aborted early on a singular refactorization (or phase 1 found
   /// an "unbounded" improving direction): any infeasible/unbounded verdict

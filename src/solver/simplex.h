@@ -1,4 +1,5 @@
-// Bounded-variable revised primal simplex.
+// Bounded-variable revised simplex: two-phase primal plus a dual simplex
+// for warm re-solves.
 //
 // This is the LP engine underneath the MILP branch-and-bound. It handles
 // ranged constraints (lo <= ax <= hi) by introducing one slack per row
@@ -13,6 +14,18 @@
 //   pricing and a Bland's-rule fallback for anti-cycling after a stall
 //   threshold. The basis inverse is kept dense (rows are few in package
 //   models: one per global constraint) and refactorized periodically.
+//
+// When a warm-start basis arrives that is bound-infeasible but still
+// dual-feasible — exactly what a branch-and-bound child inherits after the
+// branch tightened one variable bound — the solve enters a bounded-variable
+// DUAL simplex instead of the phase-1 primal repair: pick the most-violated
+// basic variable (dual Dantzig; lowest-index Bland fallback for
+// anti-cycling), run the dual ratio test over the priced pivot row, and
+// pivot with the same dense basis-inverse machinery the primal uses.
+// Primal feasibility is restored in a few dual pivots while dual
+// feasibility (= optimality) is maintained throughout, so the follow-up
+// primal phases exit immediately. A dual run that hits numerical trouble
+// falls back to the cold primal path before ever concluding infeasible.
 
 #ifndef PB_SOLVER_SIMPLEX_H_
 #define PB_SOLVER_SIMPLEX_H_
@@ -60,6 +73,9 @@ struct LpSolution {
   /// Objective under the model's sense; valid when kOptimal.
   double objective = 0.0;
   int64_t iterations = 0;
+  /// Subset of `iterations` spent in the dual simplex (0 for cold solves
+  /// and for warm starts repaired by the primal phase 1).
+  int64_t dual_iterations = 0;
   /// Final basis; populated when kOptimal (for warm-starting related
   /// solves) and when kIterationLimit (so a re-solve with a raised limit
   /// resumes instead of restarting).
@@ -75,6 +91,11 @@ struct SimplexOptions {
   /// Use Bland's rule from the first iteration (ablation knob; the default
   /// prices with Dantzig and falls back to Bland only on suspected cycling).
   bool always_bland = false;
+  /// Enter the dual simplex when a warm basis is bound-infeasible but
+  /// dual-feasible (the branch-and-bound child re-solve). Off restores the
+  /// pre-dual behavior exactly: every warm repair goes through the
+  /// composite primal phase 1 (ablation knob).
+  bool use_dual_simplex = true;
 };
 
 /// The iteration budget SolveLp will use for `model` under `options`:
@@ -89,9 +110,11 @@ int64_t EffectiveIterationLimit(const LpModel& model,
 /// branch-and-bound nodes); it must have one (lb, ub) pair per variable.
 /// `warm_start`, when non-null and non-empty, seeds the solve from a prior
 /// basis of a dimensionally identical model: nonbasic variables snap to
-/// their (possibly changed) bounds, a bound-infeasible basis is repaired by
-/// the composite phase 1, and a singular or ill-sized snapshot silently
-/// falls back to the cold slack basis.
+/// their (possibly changed) bounds, a bound-infeasible basis is
+/// re-optimized by the dual simplex when it is still dual-feasible
+/// (options.use_dual_simplex) and repaired by the composite phase 1
+/// otherwise, and a singular or ill-sized snapshot silently falls back to
+/// the cold slack basis.
 Result<LpSolution> SolveLp(
     const LpModel& model, const SimplexOptions& options = {},
     const std::vector<std::pair<double, double>>* bound_override = nullptr,

@@ -202,5 +202,40 @@ TEST(AggWeightsTest, NullsContributeZeroToSumAndCount) {
   EXPECT_EQ(*w, (std::vector<double>{1, 0}));
 }
 
+TEST(AggWeightsTest, CountOnAllNullColumnZeroFills) {
+  // A kNull-typed ("untyped / any") attribute that never saw a value:
+  // COUNT(col) counts nothing, so the weight vector is identically zero.
+  // This used to drop to the per-row Eval path; now it short-circuits.
+  db::Table t("notes", db::Schema({{"id", db::ValueType::kInt},
+                                   {"memo", db::ValueType::kNull}}));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t.Append({db::Value::Int(i), db::Value::Null()}).ok());
+  }
+  ASSERT_EQ(t.column_data(1).storage_type(), db::ValueType::kNull);
+  paql::AggCall cnt{db::AggFunc::kCount, db::Col("memo")};
+  auto w = ComputeAggWeights(cnt, t, {0, 1, 2, 3});
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(*w, (std::vector<double>{0, 0, 0, 0}));
+
+  // The short-circuit must still validate candidate indices.
+  EXPECT_EQ(ComputeAggWeights(cnt, t, {0, 9}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(AggWeightsTest, CountOnUntypedColumnWithValuesUsesNullMask) {
+  // kNull storage is the per-cell Value fallback and may hold real values
+  // (GroupBy aggregate outputs do); the null bitmap is maintained for it
+  // like any other layout, so COUNT(col) weights come from the mask.
+  db::Table t("mixed", db::Schema({{"id", db::ValueType::kInt},
+                                   {"any", db::ValueType::kNull}}));
+  ASSERT_TRUE(t.Append({db::Value::Int(0), db::Value::Int(7)}).ok());
+  ASSERT_TRUE(t.Append({db::Value::Int(1), db::Value::Null()}).ok());
+  ASSERT_TRUE(t.Append({db::Value::Int(2), db::Value::String("x")}).ok());
+  paql::AggCall cnt{db::AggFunc::kCount, db::Col("any")};
+  auto w = ComputeAggWeights(cnt, t, {0, 1, 2});
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(*w, (std::vector<double>{1, 0, 1}));
+}
+
 }  // namespace
 }  // namespace pb::core

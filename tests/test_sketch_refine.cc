@@ -208,6 +208,31 @@ TEST_F(SketchRefineTest, ThreadCountDoesNotChangeResult) {
   EXPECT_TRUE(*IsValidPackage(aq, r4->package));
 }
 
+TEST_F(SketchRefineTest, InvalidRepairSurfacesInternalErrorNotSilence) {
+  // Force the repair invariant to break: a loose integrality tolerance
+  // makes every sub-ILP report "optimal" on fractional points whose
+  // integer snap aggregates differently than the solver claimed, so the
+  // repair pass completes on residuals that cannot validate. That must
+  // surface as an Internal error — never a silently invalid package, and
+  // not a found=false after burning the backtrack budget on deterministic
+  // identical retries. (This combination was verified to hit the repaired-
+  // but-invalid path; the solver is deterministic, so it stays hit.)
+  db::Catalog c;
+  c.RegisterOrReplace(datagen::GenerateRecipes(200, 29));
+  auto aq = Analyzed(c,
+                     "SELECT PACKAGE(R) FROM recipes R "
+                     "SUCH THAT COUNT(*) = 5 AND "
+                     "SUM(calories) BETWEEN 2000 AND 2200 "
+                     "MAXIMIZE SUM(protein)");
+  SketchRefineOptions opts;
+  opts.partition_size = 32;
+  opts.milp.int_tol = 0.40;
+  auto r = SketchRefine(aq, opts);
+  ASSERT_FALSE(r.ok()) << "repair on drifted aggregates must not 'succeed'";
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal)
+      << r.status().ToString();
+}
+
 TEST_F(SketchRefineTest, RepeatQueriesSupported) {
   db::Catalog c;
   c.RegisterOrReplace(datagen::GenerateRecipes(200, 29));

@@ -503,19 +503,33 @@ TEST(MilpStatusTest, InfeasibleIsProvenOnlyWhenTheTreeIsExhausted) {
   ASSERT_TRUE(r1.ok());
   EXPECT_EQ(r1->status, MilpStatus::kInfeasible);
 
-  // Integer-infeasible but LP-feasible: the root branches, so a one-node
-  // budget stops with open work and must honestly say kNoSolution, while
-  // a budget that lets both children solve proves kInfeasible.
+  // Integer-infeasible but LP-feasible: node presolve proves both of the
+  // root's children infeasible by bound propagation alone (y <= 0 and
+  // y >= 1 both violate 0.4 <= y <= 0.6), so even a one-node budget
+  // exhausts the tree and honestly reports kInfeasible.
   LpModel int_inf;
   int y = int_inf.AddVariable("y", 0, 1, 1, true);
   int_inf.AddConstraint("c", {{y, 1.0}}, 0.4, 0.6);
   auto r2 = SolveMilp(int_inf, one_node);
   ASSERT_TRUE(r2.ok());
-  EXPECT_EQ(r2->status, MilpStatus::kNoSolution);
+  EXPECT_EQ(r2->status, MilpStatus::kInfeasible);
+  EXPECT_EQ(r2->presolve_infeasible_children, 2);
 
-  auto r3 = SolveMilp(int_inf);
+  // Without presolve the root branches into two open children, so the
+  // one-node budget stops with work remaining and must say kNoSolution
+  // (the pre-presolve behavior, kept exact under the ablation knob)...
+  MilpOptions one_node_no_presolve = one_node;
+  one_node_no_presolve.node_presolve = false;
+  auto r3 = SolveMilp(int_inf, one_node_no_presolve);
   ASSERT_TRUE(r3.ok());
-  EXPECT_EQ(r3->status, MilpStatus::kInfeasible);
+  EXPECT_EQ(r3->status, MilpStatus::kNoSolution);
+
+  // ...while a budget that lets both children solve proves kInfeasible.
+  MilpOptions no_presolve;
+  no_presolve.node_presolve = false;
+  auto r4 = SolveMilp(int_inf, no_presolve);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4->status, MilpStatus::kInfeasible);
 }
 
 TEST(MilpStatusTest, UnboundedSurfacesFromRequeuedNonRootSolve) {
@@ -579,6 +593,93 @@ TEST(MilpStatusTest, BestBoundBracketsOracleUnderNodeLimits) {
       }
     }
   }
+}
+
+// ----- End-of-solve classification at the iteration-limit boundary -----------
+
+/// An LP whose slack basis is infeasible (equality COUNT row), so the
+/// solve does real work in both phases — the boundary cases below need a
+/// known multi-iteration trajectory.
+LpModel TwoPhaseModel() {
+  Rng rng(31);
+  LpModel m;
+  std::vector<LinearTerm> count, weight;
+  for (int j = 0; j < 40; ++j) {
+    m.AddVariable("x" + std::to_string(j), 0, 1,
+                  rng.UniformReal(1.0, 100.0), false);
+    count.push_back({j, 1.0});
+    weight.push_back({j, rng.UniformReal(100.0, 900.0)});
+  }
+  m.AddConstraint("count", count, 5, 5);
+  m.AddConstraint("weight", weight, 2000, 2600);
+  m.SetSense(ObjectiveSense::kMaximize);
+  return m;
+}
+
+TEST(SimplexStatusBoundaryTest, OptimalProvenExactlyAtLimitIsOptimal) {
+  // Pre-fix behavior: a solve whose last allowed pivot reached the optimum
+  // was mislabeled kIterationLimit because the limit check ran before the
+  // final pricing pass. Optimality proven at the boundary must win.
+  LpModel m = TwoPhaseModel();
+  auto ref = SolveLp(m);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_EQ(ref->status, LpStatus::kOptimal);
+  ASSERT_GT(ref->iterations, 2) << "the model must need real work";
+
+  SimplexOptions exact;
+  exact.max_iterations = ref->iterations;
+  auto r = SolveLp(m, exact);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, LpStatus::kOptimal)
+      << "optimal at exactly max_iterations must classify as optimal";
+  EXPECT_EQ(r->iterations, ref->iterations);
+  EXPECT_NEAR(r->objective, ref->objective, 1e-9);
+  EXPECT_FALSE(r->basis.empty());
+}
+
+TEST(SimplexStatusBoundaryTest, LimitMidPhase1ReportsLimitWithBasis) {
+  // One iteration is not enough to repair the infeasible slack basis:
+  // the solve must report the limit (not a fake infeasible) and export a
+  // resumable basis that reaches the true optimum.
+  LpModel m = TwoPhaseModel();
+  auto ref = SolveLp(m);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_EQ(ref->status, LpStatus::kOptimal);
+
+  SimplexOptions one;
+  one.max_iterations = 1;
+  auto limited = SolveLp(m, one);
+  ASSERT_TRUE(limited.ok());
+  ASSERT_EQ(limited->status, LpStatus::kIterationLimit);
+  ASSERT_FALSE(limited->basis.empty());
+
+  auto resumed = SolveLp(m, {}, nullptr, &limited->basis);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_EQ(resumed->status, LpStatus::kOptimal);
+  EXPECT_NEAR(resumed->objective, ref->objective, 1e-7);
+}
+
+TEST(SimplexStatusBoundaryTest, LimitMidPhase2ReportsLimitWithBasis) {
+  // One iteration short of the full trajectory: an improving direction
+  // still exists at the boundary, so the limit must be reported — and the
+  // exported basis must finish in a bounded number of extra pivots.
+  LpModel m = TwoPhaseModel();
+  auto ref = SolveLp(m);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_EQ(ref->status, LpStatus::kOptimal);
+
+  SimplexOptions short_one;
+  short_one.max_iterations = ref->iterations - 1;
+  auto limited = SolveLp(m, short_one);
+  ASSERT_TRUE(limited.ok());
+  ASSERT_EQ(limited->status, LpStatus::kIterationLimit);
+  EXPECT_EQ(limited->iterations, ref->iterations - 1);
+  ASSERT_FALSE(limited->basis.empty());
+
+  auto resumed = SolveLp(m, {}, nullptr, &limited->basis);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_EQ(resumed->status, LpStatus::kOptimal);
+  EXPECT_NEAR(resumed->objective, ref->objective, 1e-7);
 }
 
 TEST(MilpTest, NodeLimitReportsHonestly) {
