@@ -1,0 +1,16 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace pb {
+
+int EnvInt(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int>(v);
+}
+
+}  // namespace pb

@@ -1,0 +1,19 @@
+// Small environment-variable helpers.
+//
+// Test suites use EnvInt to pick up thread-count defaults (the CI matrix
+// re-runs ctest with PB_TEST_THREADS=1 and PB_TEST_THREADS=$(nproc) so
+// every thread-count-invariance guarantee is exercised on every PR without
+// rebuilding).
+
+#ifndef PB_COMMON_ENV_H_
+#define PB_COMMON_ENV_H_
+
+namespace pb {
+
+/// The value of environment variable `name` parsed as a base-10 integer;
+/// `fallback` when the variable is unset, empty, or not a number.
+int EnvInt(const char* name, int fallback);
+
+}  // namespace pb
+
+#endif  // PB_COMMON_ENV_H_

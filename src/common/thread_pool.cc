@@ -36,6 +36,22 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::TryRunOne() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--in_flight_ == 0) all_done_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -51,6 +67,39 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
+  }
+}
+
+void TaskGroup::Spawn(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    // Notify UNDER the lock: a waiter may destroy this group the moment it
+    // observes pending_ == 0, which it cannot do before we release mu_ —
+    // so the notify (and every other member access) happens-before the
+    // destructor. Notifying after unlocking would race destruction.
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+    }
+    // Steal queued work (any group's) instead of idling; once the queue is
+    // momentarily dry, sleep until our own tally reaches zero. Tasks still
+    // executing on pool workers wake us through the completion wrapper.
+    if (pool_->TryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    return;
   }
 }
 

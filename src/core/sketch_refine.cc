@@ -112,6 +112,10 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
 
   SketchRefineResult out;
   Stopwatch phase_timer;
+  // The authoritative thread budget for every solve this call runs; a
+  // caller-set options.milp.num_threads is always overridden from it
+  // (like options.milp.warm) so no path can oversubscribe the host.
+  const int thread_budget = std::max(options.num_threads, 1);
 
   // ---- Candidates, weights, rows.
   PB_ASSIGN_OR_RETURN(std::vector<size_t> candidates,
@@ -248,6 +252,9 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     out.sketch_variables = sketch.num_variables();
     solver::MilpOptions sketch_milp = options.milp;
     sketch_milp.warm = &sketch_warm;
+    // The sketch ILP is one monolithic solve, so the whole thread budget
+    // goes to its tree search (bit-identical for any count).
+    sketch_milp.num_threads = thread_budget;
     PB_ASSIGN_OR_RETURN(solver::MilpResult sk,
                         solver::SolveMilp(sketch, sketch_milp));
     out.lp_iterations += sk.lp_iterations;
@@ -342,6 +349,13 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       tasks[t].model = build_sub(g, tasks[t].others);
     }
     out.refine_ilps_solved += static_cast<int64_t>(tasks.size());
+    // Thread-budget split: group-level fan-out times node-level tree
+    // parallelism stays within options.num_threads — node_threads is
+    // clamped into [1, budget] so the budget is authoritative. Any split
+    // yields the identical result — each MILP solve is thread-count
+    // invariant — so the knob only moves where the hardware effort goes.
+    const int node_threads =
+        std::min(std::max(options.node_threads, 1), thread_budget);
     auto solve_task = [&](RefineTask& task) {
       // Each task owns its warm-start state: safe under the thread pool
       // (no sharing) and deterministic (state depends only on the task's
@@ -349,6 +363,9 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       // across concurrent tasks, so it is always overridden here.
       solver::MilpOptions task_milp = options.milp;
       task_milp.warm = &task.warm;
+      // Like `warm`, always overridden: a caller-set milp.num_threads
+      // would multiply with the group fan-out and overrun the budget.
+      task_milp.num_threads = node_threads;
       Result<solver::MilpResult> sr = solver::SolveMilp(task.model, task_milp);
       if (sr.ok()) {
         task.solution = std::move(sr).value();
@@ -357,15 +374,20 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       }
     };
     size_t workers = std::min<size_t>(
-        static_cast<size_t>(std::max(options.num_threads, 1)), tasks.size());
+        static_cast<size_t>(std::max(thread_budget / node_threads, 1)),
+        tasks.size());
     if (workers <= 1) {
       for (RefineTask& task : tasks) solve_task(task);
     } else {
-      ThreadPool pool(workers);
+      // The waiting thread steals queued tasks (TaskGroup::Wait), making
+      // it the last of the `workers` budgeted solvers — so the pool gets
+      // workers - 1 threads, not workers.
+      ThreadPool pool(workers - 1);
+      TaskGroup group(&pool);
       for (RefineTask& task : tasks) {
-        pool.Submit([&solve_task, &task] { solve_task(task); });
+        group.Spawn([&solve_task, &task] { solve_task(task); });
       }
-      pool.Wait();
+      group.Wait();
     }
     for (const RefineTask& task : tasks) {
       PB_RETURN_IF_ERROR(task.status);
@@ -431,6 +453,9 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
           // (sequential pass, so borrowing the task's warm state is safe).
           solver::MilpOptions repair_milp = options.milp;
           repair_milp.warm = &tasks[t].warm;
+          // The repair pass is sequential: each re-solve gets the whole
+          // thread budget as tree parallelism.
+          repair_milp.num_threads = thread_budget;
           PB_ASSIGN_OR_RETURN(
               fresh, solver::SolveMilp(build_sub(g, others), repair_milp));
           out.lp_iterations += fresh.lp_iterations;

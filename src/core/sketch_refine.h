@@ -56,12 +56,26 @@ struct SketchRefineOptions {
   /// Backtracking budget: how many failed groups may be excluded from the
   /// sketch before giving up.
   int max_backtracks = 4;
-  /// Worker threads for the Refine phase's independent per-group ILPs.
-  /// The result is bit-identical for any value provided the solver stops
+  /// Total thread budget for the solve phases. The Refine phase splits it
+  /// between group-level and node-level parallelism: num_threads /
+  /// node_threads groups solve concurrently, each sub-ILP running its
+  /// branch-and-bound with node_threads-way tree parallelism; the Sketch
+  /// phase's single monolithic ILP always gets the whole budget as tree
+  /// parallelism, as do the sequential repair re-solves. The result is
+  /// bit-identical for any value (and any split) provided the solver stops
   /// deterministically (a sub-ILP that hits `milp.time_limit_s` mid-search
   /// can surface a different incumbent under CPU contention; use
   /// `milp.max_nodes` as the budget when reproducibility matters).
   int num_threads = 1;
+  /// Threads each refine sub-ILP's tree search gets
+  /// (MilpOptions::num_threads for the per-group solves), clamped into
+  /// [1, num_threads] so the total budget stays authoritative. 1 — the
+  /// default — spends the whole budget on group-level fan-out, which is
+  /// the right split while there are many more groups than threads; raise
+  /// it (up to num_threads = one group at a time, all tree parallelism)
+  /// when few large groups leave the pool underfilled. Never changes the
+  /// result, only the schedule.
+  int node_threads = 1;
   solver::MilpOptions milp;
 };
 

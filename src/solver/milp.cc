@@ -1,11 +1,15 @@
 #include "solver/milp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <queue>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace pb::solver {
 
@@ -54,13 +58,119 @@ struct Node {
   int lp_limit_boost = 0;   // times the LP iteration limit was doubled
 };
 
-/// Best-first: larger is better for max problems, smaller for min.
+/// Heap entry: the node plus its speculation slot. A node's LP inputs
+/// (bounds, basis, lp_limit_boost) are immutable from push to pop, so its
+/// relaxation can be solved by any thread at any point in that window; the
+/// slot records who did and holds the result. Slot transitions happen
+/// under SpecPool::mu; the LP itself runs unlocked.
+struct OpenNode {
+  Node node;
+
+  enum class Spec : uint8_t {
+    kIdle,     ///< nobody has started this node's LP
+    kClaimed,  ///< some thread is solving it right now
+    kDone,     ///< lp_status / lp below hold the finished solve
+  };
+  Spec spec = Spec::kIdle;
+  /// Popped (or pruned) by the main thread: helpers must not pick it up
+  /// even if a stale frontier snapshot still lists it.
+  bool dead = false;
+  Status lp_status = Status::OK();
+  LpSolution lp;
+};
+
+using OpenNodePtr = std::shared_ptr<OpenNode>;
+
+/// Best-first: larger is better for max problems, smaller for min. Applied
+/// through std::push_heap/pop_heap this reproduces std::priority_queue's
+/// ordering decisions exactly (same algorithm, same comparator calls), so
+/// the pop order matches the serial solver byte for byte.
 struct NodeOrder {
   bool maximize;
-  bool operator()(const Node& a, const Node& b) const {
-    return maximize ? a.bound < b.bound : a.bound > b.bound;
+  bool operator()(const OpenNodePtr& a, const OpenNodePtr& b) const {
+    return maximize ? a->node.bound < b->node.bound
+                    : a->node.bound > b->node.bound;
   }
 };
+
+/// Shared state between the committing main thread and the speculative LP
+/// helpers. The open heap itself stays main-thread-local; helpers only see
+/// the published `frontier` snapshot and write into claimed nodes' slots.
+struct SpecPool {
+  const LpModel* model = nullptr;
+  SimplexOptions base_lp;
+  int64_t base_lp_limit = 0;  // EffectiveIterationLimit(model, base_lp)
+  bool warm_enabled = false;
+  bool maximize = false;
+  double gap_abs = 0.0;
+
+  std::mutex mu;
+  std::condition_variable work_cv;  ///< helpers: frontier refreshed / stop
+  std::condition_variable done_cv;  ///< main thread: a claimed LP finished
+  /// Speculation candidates, best bound first (refreshed by the main
+  /// thread after every commit). Which nodes appear here only affects how
+  /// much helper work is useful — never the result.
+  std::vector<OpenNodePtr> frontier;
+  bool stop = false;
+
+  /// Incumbent objective, published on every improvement so helpers can
+  /// skip frontier nodes the serial commit will prune anyway. Relaxed
+  /// reads: a stale value costs at most one wasted LP, never correctness.
+  std::atomic<double> incumbent_obj{0.0};
+  std::atomic<bool> have_incumbent{false};
+  /// LPs solved by helpers (useful and wasted alike; timing-dependent).
+  std::atomic<int64_t> speculative_lps{0};
+};
+
+/// Helper-thread body: repeatedly claim the best idle frontier node that
+/// still beats the published incumbent, solve its LP, and post the result
+/// into the node's slot.
+void SpeculationLoop(SpecPool* pool) {
+  std::unique_lock<std::mutex> lock(pool->mu);
+  for (;;) {
+    if (pool->stop) return;
+    OpenNodePtr pick;
+    for (const OpenNodePtr& cand : pool->frontier) {
+      if (cand->spec != OpenNode::Spec::kIdle || cand->dead) continue;
+      if (pool->have_incumbent.load(std::memory_order_relaxed)) {
+        double inc = pool->incumbent_obj.load(std::memory_order_relaxed);
+        bool beats = pool->maximize
+                         ? cand->node.bound > inc + pool->gap_abs
+                         : cand->node.bound < inc - pool->gap_abs;
+        if (!beats) continue;  // the commit loop will prune it unsolved
+      }
+      pick = cand;
+      break;
+    }
+    if (!pick) {
+      pool->work_cv.wait(lock);
+      continue;
+    }
+    pick->spec = OpenNode::Spec::kClaimed;
+    lock.unlock();
+
+    SimplexOptions lp_opts = pool->base_lp;
+    if (pick->node.lp_limit_boost > 0) {
+      lp_opts.max_iterations = pool->base_lp_limit
+                               << pick->node.lp_limit_boost;
+    }
+    const LpBasis* start = pool->warm_enabled && !pick->node.basis.empty()
+                               ? &pick->node.basis
+                               : nullptr;
+    Result<LpSolution> r =
+        SolveLp(*pool->model, lp_opts, &pick->node.bounds, start);
+    pool->speculative_lps.fetch_add(1, std::memory_order_relaxed);
+
+    lock.lock();
+    if (r.ok()) {
+      pick->lp = std::move(*r);
+    } else {
+      pick->lp_status = r.status();
+    }
+    pick->spec = OpenNode::Spec::kDone;
+    pool->done_cv.notify_all();
+  }
+}
 
 /// Recomputes one row's activity range from scratch under `bounds` (the
 /// fallback when infinite contributions make the incremental form
@@ -358,20 +468,114 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     }
   }
 
-  std::priority_queue<Node, std::vector<Node>, NodeOrder> open(
-      NodeOrder{maximize});
+  // ---- Speculative parallelism (see MilpOptions::num_threads). The open
+  // heap and every commit stay on this thread; helpers only pre-solve LPs
+  // of published frontier nodes. A pure LP (no integer variables) is a
+  // single solve — nothing to speculate on.
+  const int num_threads = std::max(options.num_threads, 1);
+  const bool parallel = num_threads > 1 && model.has_integer_variables();
+  SpecPool spec;
+  std::unique_ptr<ThreadPool> helper_pool;
+  std::unique_ptr<TaskGroup> helper_group;
+  if (parallel) {
+    // Materialize the model's lazy structural caches before any helper can
+    // read the model concurrently (SolveLp does not touch them today, but
+    // a cold cache fill racing a reader would be a data race tomorrow).
+    if (presolve_enabled) model.variable_rows();
+    spec.model = &model;
+    spec.base_lp = base_lp;
+    spec.base_lp_limit = EffectiveIterationLimit(model, base_lp);
+    spec.warm_enabled = warm_enabled;
+    spec.maximize = maximize;
+    spec.gap_abs = options.gap_abs;
+  }
+  auto stop_helpers = [&] {
+    if (helper_group == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(spec.mu);
+      spec.stop = true;
+    }
+    spec.work_cv.notify_all();
+    helper_group->Wait();
+    helper_group.reset();
+    result.speculative_lps =
+        spec.speculative_lps.load(std::memory_order_relaxed);
+  };
+  // Early returns (LP solve errors) must drain helpers before the locals
+  // they reference go out of scope.
+  struct StopGuard {
+    decltype(stop_helpers)* fn;
+    ~StopGuard() { (*fn)(); }
+  } stop_guard{&stop_helpers};
+
+  // The open heap, managed with push_heap/pop_heap (== priority_queue's
+  // internals) so the serial pop order is preserved exactly while nodes
+  // get the stable addresses speculation needs.
+  NodeOrder node_order{maximize};
+  std::vector<OpenNodePtr> open;
+  auto push_open = [&](OpenNodePtr entry) {
+    open.push_back(std::move(entry));
+    std::push_heap(open.begin(), open.end(), node_order);
+  };
+  auto pop_open = [&] {
+    std::pop_heap(open.begin(), open.end(), node_order);
+    OpenNodePtr top = std::move(open.back());
+    open.pop_back();
+    return top;
+  };
+  // Publish the speculation frontier: the best few open nodes, taken from
+  // the heap array's prefix (the shallow levels hold the best bounds) and
+  // sorted best-first. Approximate by design — what helpers pre-solve only
+  // affects how much of their work is useful, never the result.
+  const size_t frontier_width = static_cast<size_t>(num_threads) * 4;
+  std::vector<OpenNodePtr> frontier_scratch;
+  auto publish_frontier = [&] {
+    // Helpers spawn lazily on the first non-empty frontier: a solve that
+    // ends at the root (the common SketchRefine sub-ILP case) never pays
+    // for thread creation at all.
+    if (helper_pool == nullptr) {
+      if (open.empty()) return;
+      helper_pool = std::make_unique<ThreadPool>(num_threads - 1);
+      helper_group = std::make_unique<TaskGroup>(helper_pool.get());
+      for (int t = 0; t < num_threads - 1; ++t) {
+        helper_group->Spawn([&spec] { SpeculationLoop(&spec); });
+      }
+    }
+    frontier_scratch.assign(
+        open.begin(),
+        open.begin() +
+            static_cast<ptrdiff_t>(std::min(open.size(), frontier_width * 2)));
+    std::sort(frontier_scratch.begin(), frontier_scratch.end(),
+              [&](const OpenNodePtr& a, const OpenNodePtr& b) {
+                return node_order(b, a);  // best bound first
+              });
+    if (frontier_scratch.size() > frontier_width) {
+      frontier_scratch.resize(frontier_width);
+    }
+    {
+      std::lock_guard<std::mutex> lock(spec.mu);
+      spec.frontier = frontier_scratch;
+    }
+    spec.work_cv.notify_all();
+  };
+
   {
-    Node root;
-    root.bounds = std::move(root_bounds);
-    root.acts = std::move(root_acts);
-    root.bound = maximize ? kInfinity : -kInfinity;
-    if (warm != nullptr) root.basis = warm->root_basis;
-    open.push(std::move(root));
+    auto root = std::make_shared<OpenNode>();
+    root->node.bounds = std::move(root_bounds);
+    root->node.acts = std::move(root_acts);
+    root->node.bound = maximize ? kInfinity : -kInfinity;
+    if (warm != nullptr) root->node.basis = warm->root_basis;
+    push_open(std::move(root));
   }
 
   bool have_incumbent = false;
   std::vector<double> incumbent;
   double incumbent_obj = 0.0;
+  // Mirror every incumbent improvement into the helpers' prune bar.
+  auto publish_incumbent = [&] {
+    spec.incumbent_obj.store(incumbent_obj, std::memory_order_relaxed);
+    spec.have_incumbent.store(true, std::memory_order_relaxed);
+  };
   bool root_unbounded = false;
   bool root_basis_captured = false;
   // Optimistic bounds of subtrees abandoned because their LP would not
@@ -389,25 +593,50 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
         timer.ElapsedSeconds() > options.time_limit_s) {
       break;  // open is non-empty here, so work_remaining stays true
     }
-    // Move the node out of the queue (top() is const only because mutating
-    // a live element could break the heap; we pop it immediately, so
-    // stealing its guts is safe and saves an O(n + m) deep copy per node).
-    Node node = std::move(const_cast<Node&>(open.top()));
-    open.pop();
+    OpenNodePtr cur = pop_open();
+    Node& node = cur->node;
 
-    // Bound-based pruning against the incumbent.
+    // Take the node off the speculation market. Whatever its slot says
+    // now is final: kIdle means this thread solves it (nobody else will
+    // start — dead nodes are never claimed), kClaimed/kDone means a helper
+    // got there first and the result is (or will be) in the slot.
+    OpenNode::Spec slot = OpenNode::Spec::kIdle;
+    if (parallel) {
+      std::lock_guard<std::mutex> lock(spec.mu);
+      cur->dead = true;
+      slot = cur->spec;
+    }
+
+    // Bound-based pruning against the incumbent. A helper may be solving
+    // this node right now; the shared_ptr keeps it alive until that solve
+    // finishes, and nobody reads the wasted result.
     if (have_incumbent && !better(node.bound, incumbent_obj)) continue;
 
     ++result.nodes;
-    SimplexOptions lp_opts = base_lp;
-    if (node.lp_limit_boost > 0) {
-      lp_opts.max_iterations = EffectiveIterationLimit(model, base_lp)
-                               << node.lp_limit_boost;
+    // Refresh the helpers' frontier before touching this node's LP: while
+    // this thread waits for (or computes) the current relaxation, helpers
+    // pre-solve the nodes most likely to be popped next.
+    if (parallel) publish_frontier();
+    LpSolution lp;
+    if (slot != OpenNode::Spec::kIdle) {
+      // Committed speculation: identical to solving here (SolveLp is a
+      // pure function of inputs the node has owned since push), so every
+      // counter below stays bit-identical to the serial solver's.
+      std::unique_lock<std::mutex> lock(spec.mu);
+      spec.done_cv.wait(lock,
+                        [&] { return cur->spec == OpenNode::Spec::kDone; });
+      PB_RETURN_IF_ERROR(cur->lp_status);
+      lp = std::move(cur->lp);
+    } else {
+      SimplexOptions lp_opts = base_lp;
+      if (node.lp_limit_boost > 0) {
+        lp_opts.max_iterations = EffectiveIterationLimit(model, base_lp)
+                                 << node.lp_limit_boost;
+      }
+      const LpBasis* start =
+          warm_enabled && !node.basis.empty() ? &node.basis : nullptr;
+      PB_ASSIGN_OR_RETURN(lp, SolveLp(model, lp_opts, &node.bounds, start));
     }
-    const LpBasis* start =
-        warm_enabled && !node.basis.empty() ? &node.basis : nullptr;
-    PB_ASSIGN_OR_RETURN(LpSolution lp,
-                        SolveLp(model, lp_opts, &node.bounds, start));
     result.lp_iterations += lp.iterations;
     result.lp_dual_iterations += lp.dual_iterations;
 
@@ -427,10 +656,11 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
       // cap is the subtree abandoned — and then its optimistic bound
       // still reaches the reported best_bound below.
       if (node.lp_limit_boost < kMaxLpLimitBoost) {
-        Node retry = std::move(node);
-        ++retry.lp_limit_boost;
-        if (warm_enabled) retry.basis = std::move(lp.basis);
-        open.push(std::move(retry));
+        auto retry = std::make_shared<OpenNode>();
+        retry->node = std::move(node);
+        ++retry->node.lp_limit_boost;
+        if (warm_enabled) retry->node.basis = std::move(lp.basis);
+        push_open(std::move(retry));
       } else {
         abandoned_any = true;
         abandoned_bound = maximize ? std::max(abandoned_bound, node.bound)
@@ -448,7 +678,9 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     }
 
     // Pseudocost observation: objective degradation from the parent's LP
-    // bound, normalized by the branching distance.
+    // bound, normalized by the branching distance. Commits happen in the
+    // serial pop order, so the history every later branch decision sees is
+    // identical for any thread count.
     if (warm_enabled && node.branch_var >= 0 && std::isfinite(node.bound)) {
       double degradation = maximize ? node.bound - node_bound
                                     : node_bound - node.bound;
@@ -485,6 +717,7 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
         have_incumbent = true;
         incumbent = std::move(snapped);
         incumbent_obj = obj;
+        publish_incumbent();
       }
       continue;
     }
@@ -500,6 +733,7 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
           have_incumbent = true;
           incumbent = std::move(rounded);
           incumbent_obj = obj;
+          publish_incumbent();
         }
       }
       // Root identified by branch_var (result.nodes would miss a root that
@@ -513,6 +747,7 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
           have_incumbent = true;
           incumbent_obj = model.ObjectiveValue(dived);
           incumbent = std::move(dived);
+          publish_incumbent();
         }
       }
     }
@@ -533,51 +768,60 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     const double parent_lb = node.bounds[branch_var].first;
     const double parent_ub = node.bounds[branch_var].second;
     node.basis.clear();  // superseded by lp.basis; don't copy it into `down`
-    Node down = node;
-    down.bound = node_bound;
-    if (warm_enabled) down.basis = lp.basis;
-    down.branch_var = branch_var;
-    down.branch_frac = frac;
-    down.branch_up = false;
-    down.lp_limit_boost = 0;
-    down.bounds[branch_var].second =
-        std::min(down.bounds[branch_var].second, std::floor(xv));
-    bool push_down =
-        down.bounds[branch_var].first <= down.bounds[branch_var].second;
+    auto down = std::make_shared<OpenNode>();
+    down->node = node;
+    down->node.bound = node_bound;
+    if (warm_enabled) down->node.basis = lp.basis;
+    down->node.branch_var = branch_var;
+    down->node.branch_frac = frac;
+    down->node.branch_up = false;
+    down->node.lp_limit_boost = 0;
+    down->node.bounds[branch_var].second =
+        std::min(down->node.bounds[branch_var].second, std::floor(xv));
+    bool push_down = down->node.bounds[branch_var].first <=
+                     down->node.bounds[branch_var].second;
     if (push_down && presolve_enabled &&
         !PropagateBranchedBound(model, branch_var, parent_lb, parent_ub,
-                                options.int_tol, &down.bounds, &down.acts,
+                                options.int_tol, &down->node.bounds,
+                                &down->node.acts,
                                 &result.presolve_fixed_bounds)) {
       ++result.presolve_infeasible_children;
       push_down = false;
     }
-    if (push_down) open.push(std::move(down));
-    Node up = std::move(node);
-    up.bound = node_bound;
-    if (warm_enabled) up.basis = std::move(lp.basis);
-    up.branch_var = branch_var;
-    up.branch_frac = frac;
-    up.branch_up = true;
-    up.lp_limit_boost = 0;
-    up.bounds[branch_var].first =
-        std::max(up.bounds[branch_var].first, std::ceil(xv));
-    bool push_up = up.bounds[branch_var].first <= up.bounds[branch_var].second;
+    if (push_down) push_open(std::move(down));
+    auto up = std::make_shared<OpenNode>();
+    up->node = std::move(node);
+    up->node.bound = node_bound;
+    if (warm_enabled) up->node.basis = std::move(lp.basis);
+    up->node.branch_var = branch_var;
+    up->node.branch_frac = frac;
+    up->node.branch_up = true;
+    up->node.lp_limit_boost = 0;
+    up->node.bounds[branch_var].first =
+        std::max(up->node.bounds[branch_var].first, std::ceil(xv));
+    bool push_up =
+        up->node.bounds[branch_var].first <= up->node.bounds[branch_var].second;
     if (push_up && presolve_enabled &&
         !PropagateBranchedBound(model, branch_var, parent_lb, parent_ub,
-                                options.int_tol, &up.bounds, &up.acts,
+                                options.int_tol, &up->node.bounds,
+                                &up->node.acts,
                                 &result.presolve_fixed_bounds)) {
       ++result.presolve_infeasible_children;
       push_up = false;
     }
-    if (push_up) open.push(std::move(up));
+    if (push_up) push_open(std::move(up));
   }
 
+  // Drain helpers before reading their shared tallies (and before any of
+  // the locals they reference can die). Idempotent with the guard.
+  stop_helpers();
+
   // Best remaining optimistic bound over ALL unexplored work: open nodes
-  // (the queue is bound-ordered, so top() is the best) plus any abandoned
-  // subtrees.
+  // (the heap is bound-ordered, so the front is the best) plus any
+  // abandoned subtrees.
   bool work_remaining = !open.empty() || abandoned_any;
   double remaining_bound = maximize ? -kInfinity : kInfinity;
-  if (!open.empty()) remaining_bound = open.top().bound;
+  if (!open.empty()) remaining_bound = open.front()->node.bound;
   if (abandoned_any) {
     remaining_bound = maximize ? std::max(remaining_bound, abandoned_bound)
                                : std::min(remaining_bound, abandoned_bound);

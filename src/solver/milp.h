@@ -4,7 +4,11 @@
 // the paper hands its translated package queries to (CPLEX in the authors'
 // deployment). Best-first search on the LP relaxation bound, branching on
 // the most fractional integer variable, with an LP-rounding primal
-// heuristic to obtain incumbents early.
+// heuristic to obtain incumbents early. With MilpOptions::num_threads > 1
+// the tree search runs in parallel: helper threads speculatively solve the
+// LPs of frontier nodes against a shared incumbent bound while the main
+// thread commits results in the exact serial order, so every solve is
+// bit-identical for any thread count (see MilpOptions::num_threads).
 
 #ifndef PB_SOLVER_MILP_H_
 #define PB_SOLVER_MILP_H_
@@ -100,6 +104,21 @@ struct MilpOptions {
   bool node_presolve = true;
   /// Optional cross-solve state (borrowed, in/out); see MilpWarmStart.
   MilpWarmStart* warm = nullptr;
+  /// Threads for the branch-and-bound tree search. 1 (the default) is the
+  /// serial solver, unchanged. N > 1 spawns N-1 helper threads that
+  /// speculatively solve the LP relaxations of nodes near the top of the
+  /// open heap — a node's LP is a pure function of its bounds, inherited
+  /// basis, and iteration budget — while the main thread pops, prunes, and
+  /// commits results (incumbent, pseudocosts, branching, presolve) in the
+  /// exact serial best-first order. Helpers skip nodes already cut off by
+  /// the atomically published incumbent bound. The committed tree is
+  /// therefore bit-identical for EVERY value of num_threads: same package,
+  /// same bounds, same nodes/lp_iterations/presolve counters; only
+  /// wall-clock and MilpResult::speculative_lps vary. (As with the Refine
+  /// fan-out, determinism additionally requires a deterministic stopping
+  /// rule — a solve that hits time_limit_s mid-search stops at a
+  /// wall-clock-dependent node; prefer max_nodes budgets.)
+  int num_threads = 1;
   SimplexOptions lp;
 };
 
@@ -119,6 +138,11 @@ struct MilpResult {
   /// Children proven infeasible by bound propagation alone (no LP solved,
   /// not counted in `nodes`).
   int64_t presolve_infeasible_children = 0;
+  /// LPs solved by helper threads when num_threads > 1 — speculation hits
+  /// and wasted guesses alike. Diagnostic only and timing-dependent: the
+  /// ONE nondeterministic counter in this struct (everything else is
+  /// identical for every num_threads). Always 0 for serial solves.
+  int64_t speculative_lps = 0;
   double solve_seconds = 0.0;
 
   bool has_solution() const {

@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "common/env.h"
 #include "core/evaluator.h"
 #include "core/sketch_refine.h"
 #include "datagen/lineitem.h"
@@ -193,19 +194,38 @@ TEST_F(SketchRefineTest, ThreadCountDoesNotChangeResult) {
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
   ASSERT_TRUE(r1->found);
 
-  SketchRefineOptions par = seq;
-  par.num_threads = 4;
-  auto r4 = SketchRefine(aq, par);
-  ASSERT_TRUE(r4.ok()) << r4.status().ToString();
-  ASSERT_TRUE(r4->found);
+  // Every way of spending the thread budget must agree with the serial
+  // run: pure group-level fan-out, group x node splits, pure node-level
+  // tree parallelism, and whatever PB_TEST_THREADS suggests (the CI matrix
+  // re-runs the suite at 1 and $(nproc)).
+  struct Split {
+    int num_threads;
+    int node_threads;
+  };
+  const Split splits[] = {{4, 1},
+                          {4, 2},
+                          {4, 4},
+                          {pb::EnvInt("PB_TEST_THREADS", 8), 2}};
+  for (const Split& s : splits) {
+    SketchRefineOptions par = seq;
+    par.num_threads = s.num_threads;
+    par.node_threads = s.node_threads;
+    auto r4 = SketchRefine(aq, par);
+    ASSERT_TRUE(r4.ok()) << r4.status().ToString();
+    ASSERT_TRUE(r4->found);
 
-  EXPECT_EQ(r1->package, r4->package)
-      << r1->package.Fingerprint() << " vs " << r4->package.Fingerprint();
-  EXPECT_EQ(r1->objective, r4->objective);
-  EXPECT_EQ(r1->backtracks, r4->backtracks);
-  EXPECT_EQ(r1->repair_passes, r4->repair_passes);
-  EXPECT_EQ(r1->refine_ilps_solved, r4->refine_ilps_solved);
-  EXPECT_TRUE(*IsValidPackage(aq, r4->package));
+    EXPECT_EQ(r1->package, r4->package)
+        << r1->package.Fingerprint() << " vs " << r4->package.Fingerprint()
+        << " (threads=" << s.num_threads
+        << ", node_threads=" << s.node_threads << ")";
+    EXPECT_EQ(r1->objective, r4->objective);
+    EXPECT_EQ(r1->backtracks, r4->backtracks);
+    EXPECT_EQ(r1->repair_passes, r4->repair_passes);
+    EXPECT_EQ(r1->refine_ilps_solved, r4->refine_ilps_solved);
+    EXPECT_EQ(r1->lp_iterations, r4->lp_iterations);
+    EXPECT_EQ(r1->lp_dual_iterations, r4->lp_dual_iterations);
+    EXPECT_TRUE(*IsValidPackage(aq, r4->package));
+  }
 }
 
 TEST_F(SketchRefineTest, InvalidRepairSurfacesInternalErrorNotSilence) {

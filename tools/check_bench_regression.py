@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare deterministic solver counters between two Google Benchmark JSON
+files and fail on regressions.
+
+Usage:
+    tools/check_bench_regression.py BASELINE.json NEW.json [--threshold 0.10]
+
+Run it locally exactly as CI does:
+    ./build/bench_solver --benchmark_format=json \
+        --benchmark_out=/tmp/bench_solver.json --benchmark_min_time=0.05
+    python3 tools/check_bench_regression.py BENCH_solver.json \
+        /tmp/bench_solver.json
+
+Only counters that are deterministic functions of the model and options are
+compared — simplex iteration counts, branch-and-bound node counts, presolve
+tallies, objectives. Wall-clock fields (real_time, cpu_time, the adaptive
+repetition count) and timing-dependent diagnostics (speculative_lps) are
+never compared: CI runners are noisy, counters are not.
+
+Verdicts per benchmark present in both files:
+  * work counters (lp_iterations, lp_dual_iterations, bnb_nodes) higher
+    than baseline by more than the threshold  -> FAIL (a regression);
+    lower by more than the threshold          -> note ("improvement —
+    refresh the baseline"), not a failure.
+  * presolve counters drifting more than the threshold either way -> FAIL
+    (they are determinism canaries: any drift means the search changed and
+    the checked-in baseline must be refreshed consciously).
+  * objective drifting beyond 1e-6 relative -> FAIL (a different optimum
+    is a correctness signal, not a perf one).
+Benchmarks present in only one file are reported but never fail the gate
+(CI runs a filtered subset of the full checked-in baseline) — except when
+NOTHING overlaps, which fails: a gate that compared zero benchmarks is a
+filter/baseline mismatch, not a pass.
+"""
+
+import argparse
+import json
+import sys
+
+# Higher-is-worse effort counters: only increases beyond the threshold fail.
+WORK_COUNTERS = ("lp_iterations", "lp_dual_iterations", "bnb_nodes")
+# Symmetric determinism canaries: any drift beyond the threshold fails.
+CANARY_COUNTERS = ("presolve_fixed_bounds", "presolve_infeasible_children")
+OBJECTIVE_REL_TOL = 1e-6
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Deterministic-counter benchmark regression gate")
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative drift allowed on counters "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    new = load_benchmarks(args.new)
+    failures = []
+    notes = []
+
+    for name in sorted(set(base) | set(new)):
+        if name not in new:
+            notes.append(f"{name}: only in baseline (not run here)")
+            continue
+        if name not in base:
+            notes.append(f"{name}: new benchmark with no baseline yet")
+            continue
+        b, n = base[name], new[name]
+        for counter in WORK_COUNTERS + CANARY_COUNTERS:
+            if counter not in b:
+                continue  # baseline never tracked it for this benchmark
+            if counter not in n:
+                # A tracked counter vanishing (rename, dropped export) must
+                # not silently shrink the gate's coverage.
+                failures.append(
+                    f"{name}: counter {counter} present in baseline but "
+                    "missing from the new run — gate coverage lost")
+                continue
+            bv, nv = float(b[counter]), float(n[counter])
+            scale = max(abs(bv), 1.0)
+            drift = (nv - bv) / scale
+            what = f"{name}: {counter} {bv:g} -> {nv:g} ({drift:+.1%})"
+            if counter in WORK_COUNTERS:
+                if drift > args.threshold:
+                    failures.append(what + " REGRESSION")
+                elif drift < -args.threshold:
+                    notes.append(what + " improvement — refresh the baseline")
+            elif abs(drift) > args.threshold:
+                failures.append(what + " drift (determinism canary)")
+        if "objective" in b:
+            if "objective" not in n:
+                failures.append(
+                    f"{name}: counter objective present in baseline but "
+                    "missing from the new run — gate coverage lost")
+            else:
+                bv, nv = float(b["objective"]), float(n["objective"])
+                if abs(nv - bv) > OBJECTIVE_REL_TOL * max(abs(bv), 1.0):
+                    failures.append(f"{name}: objective {bv!r} -> {nv!r} — "
+                                    "different optimum")
+
+    for note in notes:
+        print(f"[note] {note}")
+    compared = set(base) & set(new)
+    if not compared:
+        # A gate that compares nothing must not pass: an empty overlap
+        # means the CI filter and the checked-in baseline have drifted
+        # apart (rename, filter typo, name-suffix change) and every run
+        # would be vacuously green.
+        print("FAIL: no benchmark names in common between "
+              f"{args.baseline} and {args.new} — the gate compared "
+              "nothing; realign the benchmark filter with the baseline.")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} counter regression(s) vs {args.baseline}:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        print("\nIf the change is intentional, refresh the checked-in "
+              "baseline with the command in this script's docstring.")
+        return 1
+    print(f"OK: deterministic counters within {args.threshold:.0%} of "
+          f"{args.baseline} ({len(compared)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

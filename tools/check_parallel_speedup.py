@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Report (and optionally assert) the parallel tree-search speedup from a
+bench_solver JSON run.
+
+Usage:
+    tools/check_parallel_speedup.py BENCH.json [--min-speedup 2.0]
+                                               [--min-cores 4]
+
+Reads the BM_MilpParallelTree arms' nodes_per_sec counters and prints the
+per-arm throughput and the speedup of every threaded arm over the 1-thread
+arm. Exits 1 when the highest-thread arm is below --min-speedup — unless
+the host has fewer than --min-cores CPUs, where the bar is unreachable by
+construction (speculation shares the committing thread's core) and the
+check reports and skips. The deterministic counters are gated separately
+by check_bench_regression.py; this script is the wall-clock side.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required highest-arm speedup over 1 thread")
+    parser.add_argument("--min-cores", type=int, default=4,
+                        help="skip the assertion below this CPU count")
+    args = parser.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    arms = {}
+    for bench in data.get("benchmarks", []):
+        # Skip mean/median/stddev aggregate rows from --benchmark_repetitions
+        # runs; only per-run entries carry a meaningful nodes_per_sec.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        m = re.match(r"BM_MilpParallelTree/(\d+)", bench.get("name", ""))
+        if m and "nodes_per_sec" in bench:
+            arms[int(m.group(1))] = float(bench["nodes_per_sec"])
+    if 1 not in arms or len(arms) < 2:
+        print("FAIL: BM_MilpParallelTree arms not found in "
+              f"{args.bench_json} — run bench_solver with a filter that "
+              "includes them")
+        return 1
+
+    base = arms[1]
+    top = max(arms)
+    for threads in sorted(arms):
+        print(f"  {threads:2d} thread(s): {arms[threads]:12.0f} nodes/sec "
+              f"({arms[threads] / base:.2f}x vs 1 thread)")
+    speedup = arms[top] / base
+    cores = os.cpu_count() or 1
+    if cores < args.min_cores:
+        print(f"SKIP: host has {cores} CPU(s) < {args.min_cores} — the "
+              f"{args.min_speedup:.1f}x bar needs real cores (speculation "
+              "shares the committing thread's core here)")
+        return 0
+    if speedup < args.min_speedup:
+        print(f"FAIL: {top}-thread arm is {speedup:.2f}x vs the required "
+              f"{args.min_speedup:.1f}x on a {cores}-core host")
+        return 1
+    print(f"OK: {top}-thread arm is {speedup:.2f}x "
+          f">= {args.min_speedup:.1f}x on a {cores}-core host")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
