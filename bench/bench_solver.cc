@@ -4,11 +4,13 @@
 // enough that the strategy comparison (E3) measures the algorithms, not the
 // substrate. Reported: simplex time/iterations vs variable count on
 // package-shaped LPs (few rows, many columns), branch-and-bound node counts
-// on knapsack-style ILPs, and the Dantzig-vs-Bland pricing ablation.
+// on knapsack-style ILPs, and the engine ablations (factorization backend,
+// pricing rule, anti-cycling fallback).
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 
 #include "common/random.h"
 #include "solver/milp.h"
@@ -80,10 +82,110 @@ void BM_SimplexPricingAblation(benchmark::State& state) {
     }
     iters = r->iterations;
   }
-  state.SetLabel(bland ? "bland" : "dantzig");
+  state.SetLabel(bland ? "bland"
+                       : pb::solver::PricingRuleToString(opts.pricing));
   state.counters["lp_iterations"] = static_cast<double>(iters);
 }
 BENCHMARK(BM_SimplexPricingAblation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Engine ablation: factorization backend x pricing rule on one mid-size
+// package LP. All four arms land on the same vertex (same objective
+// counter); lp_iterations shows devex vs Dantzig path lengths and
+// refactorizations/basis_updates show the factorization-layer work the
+// regression gate tracks.
+void BM_SimplexEngineAblation(benchmark::State& state) {
+  const bool sparse = state.range(0) != 0;
+  const bool devex = state.range(1) != 0;
+  LpModel m = PackageShapedLp(5000, 7);
+  SimplexOptions opts;
+  opts.factorization = sparse ? pb::solver::FactorizationKind::kSparseLu
+                              : pb::solver::FactorizationKind::kDense;
+  opts.pricing = devex ? pb::solver::PricingRule::kDevex
+                       : pb::solver::PricingRule::kDantzig;
+  double iters = 0, refactors = 0, updates = 0, objective = 0;
+  for (auto _ : state) {
+    auto r = pb::solver::SolveLp(m, opts);
+    if (!r.ok() || r->status != pb::solver::LpStatus::kOptimal) {
+      state.SkipWithError("LP not optimal");
+      return;
+    }
+    iters = static_cast<double>(r->iterations);
+    refactors = static_cast<double>(r->refactorizations);
+    updates = static_cast<double>(r->basis_updates);
+    objective = r->objective;
+  }
+  state.SetLabel(std::string(sparse ? "sparse_lu" : "dense") + "/" +
+                 (devex ? "devex" : "dantzig"));
+  state.counters["lp_iterations"] = iters;
+  state.counters["refactorizations"] = refactors;
+  state.counters["basis_updates"] = updates;
+  state.counters["objective"] = objective;
+}
+BENCHMARK(BM_SimplexEngineAblation)
+    ->Args({0, 0})->Args({0, 1})->Args({1, 0})->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// The scale workload (mirrored by tests/slow/test_sparse_scale.cc): n
+/// candidates in n/256 groups, a global COUNT row plus one cardinality row
+/// per group — 2n nonzeros, n/256 + 1 rows. Row counts in the thousands
+/// are exactly where the dense inverse's O(m^2)-per-solve /
+/// O(m^3)-per-refactorization wall sits; the sparse LU keeps this matrix
+/// fill-free and solves the million-variable relaxation in seconds.
+LpModel ScaleLp(int n, uint64_t seed) {
+  const int groups = n / 256;
+  pb::Rng rng(seed);
+  LpModel m;
+  std::vector<LinearTerm> count;
+  std::vector<std::vector<LinearTerm>> group_rows(groups);
+  for (int j = 0; j < n; ++j) {
+    m.AddVariable("x" + std::to_string(j), 0, 1,
+                  rng.UniformReal(1.0, 100.0), false);
+    count.push_back({j, 1.0});
+    group_rows[j % groups].push_back({j, 1.0});
+  }
+  const double k = groups / 4.0;
+  m.AddConstraint("count", std::move(count), k, k);
+  for (int g = 0; g < groups; ++g) {
+    m.AddConstraint("group" + std::to_string(g), std::move(group_rows[g]),
+                    -kInfinity, 1.0);
+  }
+  m.SetSense(ObjectiveSense::kMaximize);
+  return m;
+}
+
+// Scale headline: the sparse backend walks up to a million variables
+// (4097 rows); the dense arm runs only at the smallest size, as the
+// ablation reference point this family grows away from.
+void BM_SparseSimplexScale(benchmark::State& state) {
+  const bool sparse = state.range(0) != 0;
+  const int n = static_cast<int>(state.range(1));
+  LpModel m = ScaleLp(n, 42);
+  SimplexOptions opts;
+  opts.factorization = sparse ? pb::solver::FactorizationKind::kSparseLu
+                              : pb::solver::FactorizationKind::kDense;
+  double iters = 0, refactors = 0, objective = 0;
+  for (auto _ : state) {
+    auto r = pb::solver::SolveLp(m, opts);
+    if (!r.ok() || r->status != pb::solver::LpStatus::kOptimal) {
+      state.SkipWithError("LP not optimal");
+      return;
+    }
+    iters = static_cast<double>(r->iterations);
+    refactors = static_cast<double>(r->refactorizations);
+    objective = r->objective;
+  }
+  state.SetLabel(sparse ? "sparse_lu" : "dense");
+  state.counters["n"] = n;
+  state.counters["lp_iterations"] = iters;
+  state.counters["refactorizations"] = refactors;
+  state.counters["objective"] = objective;
+}
+BENCHMARK(BM_SparseSimplexScale)
+    ->Args({0, 65536})
+    ->Args({1, 65536})
+    ->Args({1, 262144})
+    ->Args({1, 1048576})
     ->Unit(benchmark::kMillisecond);
 
 void BM_MilpKnapsack(benchmark::State& state) {

@@ -259,6 +259,7 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
                         solver::SolveMilp(sketch, sketch_milp));
     out.lp_iterations += sk.lp_iterations;
     out.lp_dual_iterations += sk.lp_dual_iterations;
+    out.lp_refactorizations += sk.lp_refactorizations;
     out.sketch_seconds += phase_timer.ElapsedSeconds();
     if (!sk.has_solution()) break;  // sketch infeasible: give up
 
@@ -393,6 +394,7 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       PB_RETURN_IF_ERROR(task.status);
       out.lp_iterations += task.solution.lp_iterations;
       out.lp_dual_iterations += task.solution.lp_dual_iterations;
+      out.lp_refactorizations += task.solution.lp_refactorizations;
     }
 
     // Deterministic merge in refine order. The merged package stands only
@@ -460,6 +462,7 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
               fresh, solver::SolveMilp(build_sub(g, others), repair_milp));
           out.lp_iterations += fresh.lp_iterations;
           out.lp_dual_iterations += fresh.lp_dual_iterations;
+          out.lp_refactorizations += fresh.lp_refactorizations;
           sol = &fresh;
         }
         if (!sol->has_solution()) {

@@ -96,6 +96,9 @@ struct SketchRefineResult {
   /// Subset of lp_iterations spent in dual-simplex child re-solves
   /// (0 when milp.use_dual_simplex or milp.warm_start_lps is off).
   int64_t lp_dual_iterations = 0;
+  /// Basis refactorizations across every MILP solved — the factorization-
+  /// layer cost metric the engine benchmarks gate alongside iterations.
+  int64_t lp_refactorizations = 0;
   double partition_seconds = 0.0;
   double sketch_seconds = 0.0;
   double refine_seconds = 0.0;

@@ -94,7 +94,10 @@ Result<IlpTranslation> TranslateToIlp(const paql::AnalyzedQuery& aq,
                          ? solver::ObjectiveSense::kMinimize
                          : solver::ObjectiveSense::kMaximize);
 
-  // Linear global-constraint rows.
+  // Linear global-constraint rows. The translator emits rows (one
+  // span-gather over the candidate weights per constraint) and never
+  // touches column storage: the simplex derives its CSC view lazily from
+  // these rows via model.csc(), so both layouts come from one build pass.
   for (const paql::LinearConstraint& lc : aq.linear_constraints) {
     std::vector<solver::LinearTerm> terms;
     terms.reserve(n);

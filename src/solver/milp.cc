@@ -371,8 +371,8 @@ bool TryRound(const LpModel& model, const Bounds& bounds,
 /// step's basis warm-starts the next.
 /// Returns true with an integer-feasible point in *out on success.
 bool TryDive(const LpModel& model, Bounds bounds, const SimplexOptions& lp_opts,
-             double int_tol, const LpBasis* seed, int64_t* lp_iterations,
-             int64_t* lp_dual_iterations, std::vector<double>* out) {
+             double int_tol, const LpBasis* seed, MilpResult* tallies,
+             std::vector<double>* out) {
   constexpr int kMaxDepth = 400;
   const bool warm = seed != nullptr;
   LpBasis chain;
@@ -380,8 +380,10 @@ bool TryDive(const LpModel& model, Bounds bounds, const SimplexOptions& lp_opts,
   for (int depth = 0; depth < kMaxDepth; ++depth) {
     auto lp = SolveLp(model, lp_opts, &bounds, warm ? &chain : nullptr);
     if (!lp.ok()) return false;
-    *lp_iterations += lp->iterations;
-    *lp_dual_iterations += lp->dual_iterations;
+    tallies->lp_iterations += lp->iterations;
+    tallies->lp_dual_iterations += lp->dual_iterations;
+    tallies->lp_refactorizations += lp->refactorizations;
+    tallies->lp_basis_updates += lp->basis_updates;
     if (lp->status != LpStatus::kOptimal) return false;
     if (warm) chain = std::move(lp->basis);
     int j = MostFractionalVariable(model, lp->x, int_tol);
@@ -479,8 +481,9 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
   std::unique_ptr<TaskGroup> helper_group;
   if (parallel) {
     // Materialize the model's lazy structural caches before any helper can
-    // read the model concurrently (SolveLp does not touch them today, but
-    // a cold cache fill racing a reader would be a data race tomorrow).
+    // read the model concurrently: SolveLp reads csc() on every solve, and
+    // a cold cache fill racing a reader is a data race.
+    model.csc();
     if (presolve_enabled) model.variable_rows();
     spec.model = &model;
     spec.base_lp = base_lp;
@@ -639,6 +642,8 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     }
     result.lp_iterations += lp.iterations;
     result.lp_dual_iterations += lp.dual_iterations;
+    result.lp_refactorizations += lp.refactorizations;
+    result.lp_basis_updates += lp.basis_updates;
 
     if (lp.status == LpStatus::kInfeasible) continue;
     if (lp.status == LpStatus::kUnbounded) {
@@ -741,9 +746,7 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
       if (!have_incumbent && node.branch_var < 0) {
         std::vector<double> dived;
         if (TryDive(model, node.bounds, base_lp, options.int_tol,
-                    warm_enabled ? &lp.basis : nullptr,
-                    &result.lp_iterations, &result.lp_dual_iterations,
-                    &dived)) {
+                    warm_enabled ? &lp.basis : nullptr, &result, &dived)) {
           have_incumbent = true;
           incumbent_obj = model.ObjectiveValue(dived);
           incumbent = std::move(dived);

@@ -119,6 +119,9 @@ struct MilpOptions {
   /// rule — a solve that hits time_limit_s mid-search stops at a
   /// wall-clock-dependent node; prefer max_nodes budgets.)
   int num_threads = 1;
+  /// Per-LP options, inherited by every node solve — including the
+  /// factorization backend and pricing rule, so an engine ablation flips
+  /// one field here and the whole tree follows.
   SimplexOptions lp;
 };
 
@@ -133,6 +136,11 @@ struct MilpResult {
   int64_t lp_iterations = 0; ///< total simplex iterations
   /// Subset of lp_iterations spent in dual-simplex child re-solves.
   int64_t lp_dual_iterations = 0;
+  /// Basis factorization work across every LP in the tree: full
+  /// refactorizations and column-replace updates (see FactorizationStats).
+  /// Deterministic for any num_threads, like the iteration counters.
+  int64_t lp_refactorizations = 0;
+  int64_t lp_basis_updates = 0;
   /// Variable bounds tightened by node presolve across the whole tree.
   int64_t presolve_fixed_bounds = 0;
   /// Children proven infeasible by bound propagation alone (no LP solved,

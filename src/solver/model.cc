@@ -13,6 +13,7 @@ int LpModel::AddVariable(std::string name, double lb, double ub,
   if (name.empty()) name = "x" + std::to_string(variables_.size());
   variables_.push_back({std::move(name), lb, ub, objective, is_integer});
   structural_caches_valid_ = false;
+  csc_valid_ = false;
   return static_cast<int>(variables_.size()) - 1;
 }
 
@@ -29,6 +30,7 @@ int LpModel::AddConstraint(std::string name, std::vector<LinearTerm> terms,
   }
   constraints_.push_back({std::move(name), std::move(clean), lo, hi});
   structural_caches_valid_ = false;
+  csc_valid_ = false;
   return static_cast<int>(constraints_.size()) - 1;
 }
 
@@ -72,6 +74,33 @@ const std::vector<std::vector<RowTerm>>& LpModel::variable_rows() const {
     structural_caches_valid_ = true;
   }
   return variable_rows_cache_;
+}
+
+const CscMatrix& LpModel::csc() const {
+  if (!csc_valid_) {
+    // Two row-major passes: count entries per column, then fill. Scanning
+    // rows in order 0..m-1 leaves every column's row indices ascending,
+    // which the sparse LU's symbolic phase relies on.
+    CscMatrix& a = csc_cache_;
+    const int n = num_variables();
+    a.col_start.assign(n + 1, 0);
+    for (const Constraint& c : constraints_) {
+      for (const LinearTerm& t : c.terms) ++a.col_start[t.var + 1];
+    }
+    for (int j = 0; j < n; ++j) a.col_start[j + 1] += a.col_start[j];
+    a.row.assign(static_cast<size_t>(a.col_start[n]), 0);
+    a.value.assign(static_cast<size_t>(a.col_start[n]), 0.0);
+    std::vector<int64_t> next(a.col_start.begin(), a.col_start.end() - 1);
+    for (size_t i = 0; i < constraints_.size(); ++i) {
+      for (const LinearTerm& t : constraints_[i].terms) {
+        int64_t k = next[t.var]++;
+        a.row[k] = static_cast<int32_t>(i);
+        a.value[k] = t.coeff;
+      }
+    }
+    csc_valid_ = true;
+  }
+  return csc_cache_;
 }
 
 bool LpModel::has_integer_variables() const {

@@ -64,6 +64,25 @@ struct RowTerm {
   double coeff = 0.0;
 };
 
+/// Column-compressed (CSC) storage of the constraint matrix — the
+/// solver-facing layout. Column j's entries occupy
+/// [col_start[j], col_start[j+1]); row indices ascend within a column.
+/// The builder keeps rows (`Constraint::terms`) authoritative and derives
+/// this view lazily: the revised simplex walks columns (FTRAN, pricing the
+/// entering column) through here, while row-major consumers — the
+/// translator's span-gather path, node presolve's activity ranges, the
+/// sparse pivot-row pass — keep reading `constraints()`. One shared index
+/// replaces the per-solve column copy the simplex used to build, which at
+/// a million variables was the dominant allocation of every solve.
+struct CscMatrix {
+  std::vector<int64_t> col_start;  ///< size num_cols() + 1
+  std::vector<int32_t> row;
+  std::vector<double> value;
+
+  int num_cols() const { return static_cast<int>(col_start.size()) - 1; }
+  int64_t nnz() const { return static_cast<int64_t>(row.size()); }
+};
+
 enum class ObjectiveSense { kMinimize, kMaximize };
 
 /// A MILP under construction. Indices returned by AddVariable/AddConstraint
@@ -121,6 +140,13 @@ class LpModel {
   /// the same thread-safety caveat applies.
   const std::vector<std::vector<RowTerm>>& variable_rows() const;
 
+  /// The constraint matrix in CSC form (structural columns only; the
+  /// simplex synthesizes slack columns on the fly). Lazily built on first
+  /// call and cached until the next AddVariable/AddConstraint; the same
+  /// thread-safety caveat as the other lazy caches applies, so SolveMilp
+  /// warms it before spawning speculation helpers.
+  const CscMatrix& csc() const;
+
   /// Order-sensitive hash of the model's structure: dimensions, sense,
   /// integrality pattern, and row sparsity (variable indices, not
   /// coefficient values). Warm-start state (bases, pseudocost history) is
@@ -137,6 +163,8 @@ class LpModel {
   mutable std::vector<RowActivityBounds> row_activity_cache_;
   mutable std::vector<std::vector<RowTerm>> variable_rows_cache_;
   mutable bool structural_caches_valid_ = false;
+  mutable CscMatrix csc_cache_;
+  mutable bool csc_valid_ = false;
 };
 
 /// The [min, max] contribution of one term coeff * x over x in [lb, ub]

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "solver/factorization.h"
+#include "solver/pricing.h"
 
 namespace pb::solver {
 
@@ -21,18 +23,28 @@ namespace {
 
 /// The working state of one simplex solve. Variables 0..n-1 are structural;
 /// n..n+m-1 are row slacks (column -e_i, bounds = row range).
+///
+/// Linear algebra goes through the BasisFactorization layer; candidate
+/// selection through the Pricing layer. Reduced costs d_ are maintained
+/// incrementally: each pivot prices its row out of B^{-1} (one sparse
+/// BTRAN plus a walk over the touched rows' terms) and applies the rank-one
+/// update, instead of the dense rebuild-everything scan the solver used to
+/// do per iteration. d_ is rebuilt from fresh duals after every
+/// refactorization, on phase entry, whenever the phase-1 composite cost
+/// vector changes segment, and always before optimality is declared.
 class Simplex {
  public:
   Simplex(const LpModel& model, const SimplexOptions& options,
           const std::vector<std::pair<double, double>>* bound_override)
       : opts_(options),
+        model_(model),
         m_(model.num_constraints()),
         n_(model.num_variables()),
-        total_(n_ + m_) {
+        total_(n_ + m_),
+        pricing_(options.pricing) {
     // Internally we always minimize; flip sign for maximize.
     sign_ = model.sense() == ObjectiveSense::kMaximize ? -1.0 : 1.0;
 
-    cols_.resize(total_);
     lb_.resize(total_);
     ub_.resize(total_);
     cost_.assign(total_, 0.0);
@@ -44,14 +56,18 @@ class Simplex {
     }
     for (int i = 0; i < m_; ++i) {
       const Constraint& c = model.constraint(i);
-      for (const LinearTerm& t : c.terms) {
-        cols_[t.var].push_back({i, t.coeff});
-      }
       int slack = n_ + i;
-      cols_[slack].push_back({i, -1.0});
       lb_[slack] = c.lo;
       ub_[slack] = c.hi;
     }
+
+    fact_ = MakeFactorization(options.factorization, model.csc(), n_, m_,
+                              options.pivot_tol);
+
+    d_.assign(total_, 0.0);
+    z_.assign(total_, 0.0);
+    z_mark_.assign(total_, 0);
+    c1_.assign(total_, 0);
 
     max_iter_ = EffectiveIterationLimit(model, options);
   }
@@ -103,6 +119,8 @@ class Simplex {
     out.status = status;
     out.iterations = iterations_;
     out.dual_iterations = dual_iterations_;
+    out.refactorizations = fact_->stats().refactorizations;
+    out.basis_updates = fact_->stats().updates;
     if (status == LpStatus::kOptimal) {
       out.x.assign(x_.begin(), x_.begin() + n_);
       double obj = 0.0;
@@ -165,8 +183,21 @@ class Simplex {
     return Finish(LpStatus::kOptimal);
   }
 
- private:
   static constexpr double kInf = kInfinity;
+
+  /// Visits (row, value) of column j: CSC entries for structural columns,
+  /// the synthesized single entry (j - n, -1) for slacks.
+  template <typename Fn>
+  void ForEachCol(int j, Fn&& fn) const {
+    const CscMatrix& a = model_.csc();
+    if (j < n_) {
+      for (int64_t k = a.col_start[j]; k < a.col_start[j + 1]; ++k) {
+        fn(static_cast<int>(a.row[k]), a.value[k]);
+      }
+    } else {
+      fn(j - n_, -1.0);
+    }
+  }
 
   /// Puts every slack in the basis, structural variables at their "natural"
   /// bound (the finite bound nearest zero; free variables at 0).
@@ -195,17 +226,17 @@ class Simplex {
       basis_[i] = n_ + i;
       stat_[n_ + i] = VarStat::kBasic;
     }
-    // Slack basis inverse: B = -I  =>  B^{-1} = -I.
-    binv_.assign(m_ * m_, 0.0);
-    for (int i = 0; i < m_; ++i) binv_[i * m_ + i] = -1.0;
+    // The slack basis (B = -I) can never be singular.
+    fact_->Refactorize(basis_);
+    d_valid_ = false;
     RecomputeBasicValues();
   }
 
   /// Restores a prior basis: statuses are adopted, nonbasic variables snap
   /// to the current bounds (which may have moved since the snapshot — the
-  /// branch-and-bound case), and the basis inverse is refactorized from
-  /// scratch. Returns false (leaving reinitialization to the caller) when
-  /// the snapshot has the wrong shape, is internally inconsistent, or its
+  /// branch-and-bound case), and the basis is refactorized from scratch.
+  /// Returns false (leaving reinitialization to the caller) when the
+  /// snapshot has the wrong shape, is internally inconsistent, or its
   /// basis matrix is singular.
   bool LoadBasis(const LpBasis& b) {
     if (static_cast<int>(b.basic.size()) != m_ ||
@@ -226,7 +257,7 @@ class Simplex {
     for (int j = 0; j < total_; ++j) {
       switch (stat_[j]) {
         case VarStat::kBasic:
-          break;  // recomputed by Refactorize()
+          break;  // recomputed below
         case VarStat::kAtLower:
           if (lb_[j] > -kInf) {
             x_[j] = lb_[j];
@@ -259,7 +290,10 @@ class Simplex {
           break;
       }
     }
-    return Refactorize();
+    if (!fact_->Refactorize(basis_)) return false;
+    d_valid_ = false;
+    RecomputeBasicValues();
+    return true;
   }
 
   void ExportBasis(LpBasis* out) const {
@@ -269,61 +303,22 @@ class Simplex {
 
   /// x_B = B^{-1} (0 - N x_N).
   void RecomputeBasicValues() {
-    std::vector<double> rhs(m_, 0.0);
+    rhs_.assign(m_, 0.0);
     for (int j = 0; j < total_; ++j) {
       if (stat_[j] == VarStat::kBasic || x_[j] == 0.0) continue;
-      for (const auto& [row, coeff] : cols_[j]) rhs[row] -= coeff * x_[j];
+      double v = x_[j];
+      ForEachCol(j, [&](int row, double coeff) { rhs_[row] -= coeff * v; });
     }
-    for (int i = 0; i < m_; ++i) {
-      double v = 0.0;
-      for (int k = 0; k < m_; ++k) v += binv_[i * m_ + k] * rhs[k];
-      x_[basis_[i]] = v;
-    }
+    fact_->Ftran(&rhs_);
+    for (int i = 0; i < m_; ++i) x_[basis_[i]] = rhs_[i];
   }
 
-  /// Rebuilds binv_ from the basis columns by Gauss-Jordan with partial
-  /// pivoting. Returns false if the basis matrix is (numerically) singular.
-  bool Refactorize() {
-    std::vector<double> mat(m_ * m_, 0.0);   // basis matrix B
-    std::vector<double> inv(m_ * m_, 0.0);
-    for (int i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
-    for (int c = 0; c < m_; ++c) {
-      for (const auto& [row, coeff] : cols_[basis_[c]]) {
-        mat[row * m_ + c] = coeff;
-      }
-    }
-    for (int c = 0; c < m_; ++c) {
-      int piv = -1;
-      double best = opts_.pivot_tol;
-      for (int r = c; r < m_; ++r) {
-        if (std::abs(mat[r * m_ + c]) > best) {
-          best = std::abs(mat[r * m_ + c]);
-          piv = r;
-        }
-      }
-      if (piv < 0) return false;
-      if (piv != c) {
-        for (int k = 0; k < m_; ++k) {
-          std::swap(mat[piv * m_ + k], mat[c * m_ + k]);
-          std::swap(inv[piv * m_ + k], inv[c * m_ + k]);
-        }
-      }
-      double d = mat[c * m_ + c];
-      for (int k = 0; k < m_; ++k) {
-        mat[c * m_ + k] /= d;
-        inv[c * m_ + k] /= d;
-      }
-      for (int r = 0; r < m_; ++r) {
-        if (r == c) continue;
-        double f = mat[r * m_ + c];
-        if (f == 0.0) continue;
-        for (int k = 0; k < m_; ++k) {
-          mat[r * m_ + k] -= f * mat[c * m_ + k];
-          inv[r * m_ + k] -= f * inv[c * m_ + k];
-        }
-      }
-    }
-    binv_ = std::move(inv);
+  /// Refactorizes the current basis and restores the derived state (basic
+  /// values; reduced costs are invalidated for lazy rebuild). False means
+  /// numerically singular.
+  bool RefactorizeBasis() {
+    d_valid_ = false;
+    if (!fact_->Refactorize(basis_)) return false;
     RecomputeBasicValues();
     return true;
   }
@@ -340,56 +335,136 @@ class Simplex {
     return total;
   }
 
-  /// alpha = B^{-1} a_j for a column j.
-  void Ftran(int j, std::vector<double>* alpha) const {
-    alpha->assign(m_, 0.0);
-    for (const auto& [row, coeff] : cols_[j]) {
-      for (int i = 0; i < m_; ++i) {
-        (*alpha)[i] += binv_[i * m_ + row] * coeff;
-      }
-    }
+  /// Phase-1 cost segment of variable j: -1 below its lower bound (cost
+  /// wants it to grow), +1 above its upper (shrink), 0 in range.
+  int8_t Seg(int j) const {
+    if (x_[j] < lb_[j] - opts_.feas_tol) return -1;
+    if (x_[j] > ub_[j] + opts_.feas_tol) return +1;
+    return 0;
   }
 
-  /// y = c_B B^{-1} where c_B is the (phase-dependent) basic cost vector.
-  void ComputeDuals(bool phase1, std::vector<double>* y) const {
+  /// y = B^{-T} c_B where c_B is the (phase-dependent) basic cost vector.
+  void ComputeDuals(bool phase1, std::vector<double>* y) {
     y->assign(m_, 0.0);
     for (int i = 0; i < m_; ++i) {
-      double cb;
-      if (phase1) {
+      int b = basis_[i];
+      (*y)[i] = phase1 ? static_cast<double>(Seg(b)) : cost_[b];
+    }
+    fact_->Btran(y);
+  }
+
+  /// Rebuilds every reduced cost from fresh duals — the expensive O(nnz)
+  /// pass the incremental updates exist to avoid; runs only on phase entry,
+  /// after refactorizations, and to confirm convergence. For phase 1 it
+  /// also snapshots the composite cost vector (c1_) so the loop can detect
+  /// when a segment change invalidates d_.
+  void RecomputeReducedCosts(bool phase1) {
+    ComputeDuals(phase1, &y_);
+    if (phase1) {
+      for (int j : c1_nonzero_) c1_[j] = 0;
+      c1_nonzero_.clear();
+      for (int i = 0; i < m_; ++i) {
         int b = basis_[i];
-        if (x_[b] < lb_[b] - opts_.feas_tol) cb = -1.0;        // below: grow
-        else if (x_[b] > ub_[b] + opts_.feas_tol) cb = 1.0;    // above: shrink
-        else cb = 0.0;
-      } else {
-        cb = cost_[basis_[i]];
+        int8_t s = Seg(b);
+        if (s != 0) {
+          c1_[b] = s;
+          c1_nonzero_.push_back(b);
+        }
       }
-      if (cb == 0.0) continue;
-      for (int k = 0; k < m_; ++k) (*y)[k] += cb * binv_[i * m_ + k];
+    }
+    for (int j = 0; j < total_; ++j) {
+      if (stat_[j] == VarStat::kBasic) {
+        d_[j] = 0.0;
+        continue;
+      }
+      double d = phase1 ? 0.0 : cost_[j];
+      ForEachCol(j, [&](int row, double coeff) { d -= y_[row] * coeff; });
+      d_[j] = d;
+    }
+    d_valid_ = true;
+    d_phase1_ = phase1;
+  }
+
+  /// True when some basic variable's phase-1 cost segment no longer
+  /// matches the snapshot d_ was computed against (a bound was crossed or
+  /// repaired): the composite cost vector changed and d_ is stale.
+  bool Phase1CostChanged() const {
+    for (int i = 0; i < m_; ++i) {
+      int b = basis_[i];
+      if (c1_[b] != Seg(b)) return true;
+    }
+    return false;
+  }
+
+  /// Prices pivot row `leave_row` out of the factorization: rho_ = row of
+  /// B^{-1} (one sparse BTRAN), then z_ = rho^T [A | -I] accumulated by
+  /// walking only the rows rho touches (row-major `constraints()`; the CSC
+  /// view would transpose badly here). z_pattern_ lists the touched
+  /// columns; z_ values outside it are stale.
+  void ComputePivotRow(int leave_row) {
+    fact_->BtranUnit(leave_row, &rho_);
+    ++z_stamp_;
+    z_pattern_.clear();
+    for (int i = 0; i < m_; ++i) {
+      double r = rho_[i];
+      if (r == 0.0) continue;
+      AddToZ(n_ + i, -r);  // slack column of row i
+      for (const LinearTerm& t : model_.constraint(i).terms) {
+        AddToZ(t.var, r * t.coeff);
+      }
     }
   }
 
-  double ReducedCost(int j, bool phase1, const std::vector<double>& y) const {
-    double d = phase1 ? 0.0 : cost_[j];
-    for (const auto& [row, coeff] : cols_[j]) d -= y[row] * coeff;
-    return d;
+  void AddToZ(int j, double v) {
+    if (z_mark_[j] != z_stamp_) {
+      z_mark_[j] = z_stamp_;
+      z_[j] = 0.0;
+      z_pattern_.push_back(j);
+    }
+    z_[j] += v;
   }
 
-  /// Applies the product-form basis-inverse update for a pivot on
-  /// `leave_row` with Ftran column `alpha` (shared by the primal phases and
-  /// the dual simplex). A pivot element below tolerance falls back to a
-  /// full refactorization; returns false when that refactorization finds
-  /// the basis singular (numerical trouble — caller aborts the phase).
-  bool PivotUpdate(int leave_row, const std::vector<double>& alpha) {
-    double piv = alpha[leave_row];
-    if (std::abs(piv) < opts_.pivot_tol) return Refactorize();
-    double* prow = &binv_[leave_row * m_];
-    for (int k = 0; k < m_; ++k) prow[k] /= piv;
-    for (int i = 0; i < m_; ++i) {
-      if (i == leave_row) continue;
-      double f = alpha[i];
-      if (f == 0.0) continue;
-      double* row = &binv_[i * m_];
-      for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
+  /// The rank-one reduced-cost update for a pivot with priced row
+  /// z_/z_pattern_ and pivot element `pivot` (the entering column's Ftran
+  /// value in the leaving row). Must run while stat_ still reflects the
+  /// pre-pivot basis. No-op when d_ is already stale.
+  void UpdateReducedCostsAfterPivot(int enter, int leave, double pivot) {
+    if (!d_valid_) return;
+    double theta = d_[enter] / pivot;
+    for (int j : z_pattern_) {
+      if (j == enter || stat_[j] == VarStat::kBasic) continue;
+      d_[j] -= theta * z_[j];
+    }
+    d_[leave] = -theta;  // z over the leaving column is exactly e_r
+    d_[enter] = 0.0;
+    // Phase 1 only: the leaving variable lands on a bound, so its
+    // composite cost drops to 0 — if it was nonzero, the whole cost
+    // vector shifted and d_ must be rebuilt.
+    if (d_phase1_ && c1_[leave] != 0) d_valid_ = false;
+  }
+
+  /// Scatters column j and applies B^{-1} through the factorization.
+  void FtranColumn(int j, std::vector<double>* alpha) {
+    alpha->assign(m_, 0.0);
+    ForEachCol(j, [&](int row, double coeff) { (*alpha)[row] += coeff; });
+    fact_->Ftran(alpha);
+  }
+
+  /// Shared post-pivot bookkeeping: replace the factorized column and
+  /// refactorize on schedule (or when the backend asks). Returns false on
+  /// numerical trouble (caller aborts the phase).
+  bool CommitPivot(int leave_row, int* since_refactor) {
+    int64_t refs_before = fact_->stats().refactorizations;
+    if (!fact_->Update(leave_row, alpha_, basis_)) return false;
+    if (fact_->stats().refactorizations != refs_before) {
+      // A tiny pivot forced an internal refactorization: re-derive state.
+      d_valid_ = false;
+      RecomputeBasicValues();
+    }
+    if (++*since_refactor >= opts_.refactor_every ||
+        fact_->ShouldRefactorize()) {
+      *since_refactor = 0;
+      if (!RefactorizeBasis()) return false;
     }
     return true;
   }
@@ -400,59 +475,86 @@ class Simplex {
   /// iteration limit is only reported when an improving direction still
   /// exists: a solve that proves optimality on the pricing pass after its
   /// last allowed pivot is kConverged, not kLimit (the old per-phase limit
-  /// checks mislabeled exactly-at-limit optima).
+  /// checks mislabeled exactly-at-limit optima). Optimality and
+  /// unboundedness are only ever declared off freshly recomputed reduced
+  /// costs, never off the incrementally maintained ones.
   PhaseResult SolvePhase(bool phase1) {
-    std::vector<double> y, alpha;
+    pricing_.ResetPrimal(total_);
+    d_valid_ = false;  // phase entry: the cost vector changed
     int since_refactor = 0;
     for (;;) {
       if (phase1 && TotalInfeasibility() <= opts_.feas_tol) {
         return PhaseResult::kConverged;
       }
+      if (d_valid_ && d_phase1_ == phase1 && phase1 && Phase1CostChanged()) {
+        d_valid_ = false;
+      }
+      bool fresh = false;
+      if (!d_valid_ || d_phase1_ != phase1) {
+        RecomputeReducedCosts(phase1);
+        fresh = true;
+      }
 
-      ComputeDuals(phase1, &y);
-
-      // Pricing. Dantzig rule normally; Bland's (lowest eligible index)
-      // once the iteration count suggests cycling.
+      // Pricing: best score among eligible columns; Bland's (lowest
+      // eligible index) once the iteration count suggests cycling.
       bool bland = iterations_ > bland_threshold_;
       int enter = -1;
-      double best_score = opts_.opt_tol;
       int enter_dir = 0;  // +1 increase, -1 decrease
-      for (int j = 0; j < total_; ++j) {
-        if (stat_[j] == VarStat::kBasic) continue;
-        double d = ReducedCost(j, phase1, y);
-        int dir = 0;
-        double score = 0.0;
-        if (stat_[j] == VarStat::kAtLower && d < -opts_.opt_tol) {
-          dir = +1;
-          score = -d;
-        } else if (stat_[j] == VarStat::kAtUpper && d > opts_.opt_tol) {
-          dir = -1;
-          score = d;
-        } else if (stat_[j] == VarStat::kFree &&
-                   std::abs(d) > opts_.opt_tol) {
-          dir = d < 0 ? +1 : -1;
-          score = std::abs(d);
+      auto select = [&]() {
+        enter = -1;
+        enter_dir = 0;
+        double best_score = 0.0;
+        for (int j = 0; j < total_; ++j) {
+          if (stat_[j] == VarStat::kBasic) continue;
+          double d = d_[j];
+          int dir = 0;
+          if (stat_[j] == VarStat::kAtLower && d < -opts_.opt_tol) {
+            dir = +1;
+          } else if (stat_[j] == VarStat::kAtUpper && d > opts_.opt_tol) {
+            dir = -1;
+          } else if (stat_[j] == VarStat::kFree &&
+                     std::abs(d) > opts_.opt_tol) {
+            dir = d < 0 ? +1 : -1;
+          }
+          if (dir == 0) continue;
+          if (bland) {
+            enter = j;
+            enter_dir = dir;
+            return;
+          }
+          double score = pricing_.PrimalScore(j, d);
+          if (score > best_score) {
+            best_score = score;
+            enter = j;
+            enter_dir = dir;
+          }
         }
-        if (dir == 0) continue;
-        if (bland) {
-          enter = j;
-          enter_dir = dir;
-          break;
-        }
-        if (score > best_score) {
-          best_score = score;
-          enter = j;
-          enter_dir = dir;
-        }
+      };
+      select();
+      if (enter < 0 && !fresh) {
+        // Maintained reduced costs say converged: confirm before claiming.
+        RecomputeReducedCosts(phase1);
+        fresh = true;
+        select();
       }
       if (enter < 0) {
         // No improving direction: phase-1 stalls (feasible or not);
         // phase-2 is optimal — even when the budget is exactly spent.
         return PhaseResult::kConverged;
       }
-      if (iterations_ >= max_iter_) return PhaseResult::kLimit;
+      if (iterations_ >= max_iter_) {
+        if (!fresh) {
+          // Don't report kLimit off drifted costs: an exactly-at-limit
+          // optimum must still classify as converged.
+          RecomputeReducedCosts(phase1);
+          fresh = true;
+          select();
+          if (enter < 0) return PhaseResult::kConverged;
+        }
+        return PhaseResult::kLimit;
+      }
 
-      Ftran(enter, &alpha);
+      FtranColumn(enter, &alpha_);
 
       // Ratio test. The entering variable moves by t >= 0 in direction
       // enter_dir; basic i changes at rate delta_i = -enter_dir * alpha_i.
@@ -467,7 +569,7 @@ class Simplex {
         limit = ub_[enter] - lb_[enter];
       }
       for (int i = 0; i < m_; ++i) {
-        double rate = -enter_dir * alpha[i];
+        double rate = -enter_dir * alpha_[i];
         if (std::abs(rate) < opts_.pivot_tol) continue;
         int b = basis_[i];
         double t;
@@ -501,7 +603,7 @@ class Simplex {
         t = std::max(t, 0.0);
         if (t < limit - 1e-12 ||
             (leave_row >= 0 && t < limit + 1e-12 &&
-             std::abs(alpha[i]) > std::abs(alpha[leave_row]))) {
+             std::abs(alpha_[i]) > std::abs(alpha_[leave_row]))) {
           limit = t;
           leave_row = i;
           leave_stat = to_stat;
@@ -510,6 +612,12 @@ class Simplex {
       }
 
       if (limit == kInf) {
+        if (!fresh) {
+          // The improving direction came from drifted reduced costs; get
+          // fresh ones before believing an unbounded ray.
+          RecomputeReducedCosts(phase1);
+          continue;
+        }
         // Unbounded direction. In phase 1 this cannot lower a
         // nonnegative objective forever — treat as numerical trouble and
         // report converged (the caller's infeasibility check decides).
@@ -525,21 +633,28 @@ class Simplex {
       // Apply the step.
       double t = limit;
       if (leave_row < 0) {
-        // Bound flip of the entering variable.
+        // Bound flip of the entering variable: no basis change, reduced
+        // costs untouched.
         x_[enter] += enter_dir * t;
         stat_[enter] =
             stat_[enter] == VarStat::kAtLower ? VarStat::kAtUpper
                                               : VarStat::kAtLower;
         for (int i = 0; i < m_; ++i) {
-          x_[basis_[i]] += -enter_dir * alpha[i] * t;
+          x_[basis_[i]] += -enter_dir * alpha_[i] * t;
         }
         continue;
       }
 
-      // Pivot: enter replaces basis_[leave_row].
+      // Pivot: enter replaces basis_[leave_row]. Price the pivot row
+      // first (while the factorization still holds the old basis), fold
+      // the rank-one update into d_ and the devex weights, then commit.
       int leave = basis_[leave_row];
+      ComputePivotRow(leave_row);
+      UpdateReducedCostsAfterPivot(enter, leave, alpha_[leave_row]);
+      pricing_.PrimalUpdate(z_pattern_, z_, enter, leave, alpha_[leave_row]);
+
       for (int i = 0; i < m_; ++i) {
-        x_[basis_[i]] += -enter_dir * alpha[i] * t;
+        x_[basis_[i]] += -enter_dir * alpha_[i] * t;
       }
       x_[enter] += enter_dir * t;
       x_[leave] = leave_to_bound;
@@ -547,18 +662,9 @@ class Simplex {
       stat_[enter] = VarStat::kBasic;
       basis_[leave_row] = enter;
 
-      // Update B^{-1}: row ops so that column `enter` becomes e_{leave_row}.
-      if (!PivotUpdate(leave_row, alpha)) {
+      if (!CommitPivot(leave_row, &since_refactor)) {
         numerical_trouble_ = true;
         return phase1 ? PhaseResult::kConverged : PhaseResult::kNoDirection;
-      }
-
-      if (++since_refactor >= opts_.refactor_every) {
-        since_refactor = 0;
-        if (!Refactorize()) {
-          numerical_trouble_ = true;
-          return phase1 ? PhaseResult::kConverged : PhaseResult::kNoDirection;
-        }
       }
     }
   }
@@ -575,14 +681,14 @@ class Simplex {
   /// feasibility) conditions: nonbasic-at-lower reduced costs nonnegative,
   /// at-upper nonpositive, free near zero. The entry gate for the dual
   /// simplex; the tolerance is looser than opt_tol because the inherited
-  /// basis inverse was refactorized from scratch.
+  /// basis was refactorized from scratch. Leaves d_ freshly computed for
+  /// the dual loop.
   bool DualFeasible() {
-    std::vector<double> y;
-    ComputeDuals(/*phase1=*/false, &y);
+    RecomputeReducedCosts(/*phase1=*/false);
     const double tol = 100.0 * opts_.opt_tol;
     for (int j = 0; j < total_; ++j) {
       if (stat_[j] == VarStat::kBasic) continue;
-      double d = ReducedCost(j, /*phase1=*/false, y);
+      double d = d_[j];
       switch (stat_[j]) {
         case VarStat::kAtLower:
           if (d < -tol) return false;
@@ -601,32 +707,37 @@ class Simplex {
   }
 
   /// Bounded-variable dual simplex. Precondition: the basis is
-  /// dual-feasible (DualFeasible()). Each iteration picks the most-violated
-  /// basic variable (dual Dantzig; lowest basic index under Bland's
-  /// fallback), prices the pivot row out of B^{-1}, runs the dual ratio
-  /// test over the nonbasic columns to preserve dual feasibility, and
-  /// pivots with the shared PivotUpdate machinery. Terminates with primal
-  /// feasibility (= optimality), a proven-infeasible row, the iteration
-  /// limit, or numerical trouble.
+  /// dual-feasible (DualFeasible()). Each iteration picks the leaving row
+  /// by dual pricing (devex row weights or plain most-violated; lowest
+  /// basic index under Bland's fallback), prices the pivot row through the
+  /// factorization, runs the dual ratio test over the row's nonzero
+  /// columns to preserve dual feasibility, and pivots through the shared
+  /// commit path. Terminates with primal feasibility (= optimality), a
+  /// proven-infeasible row, the iteration limit, or numerical trouble.
   DualOutcome SolveDual() {
-    std::vector<double> y, alpha;
+    pricing_.ResetDual(m_);
     int since_refactor = 0;
     int bad_pivots = 0;
     for (;;) {
+      if (!d_valid_ || d_phase1_) RecomputeReducedCosts(/*phase1=*/false);
+
       // ---- Leaving variable: a basic outside its bounds.
       bool bland = iterations_ > bland_threshold_;
       int leave_row = -1;
-      double best_viol = opts_.feas_tol;
+      double best_score = 0.0;
       for (int i = 0; i < m_; ++i) {
         int b = basis_[i];
         double viol = std::max(lb_[b] - x_[b], x_[b] - ub_[b]);
-        if (viol <= best_viol) continue;
+        if (viol <= opts_.feas_tol) continue;
         if (bland) {
           // Anti-cycling: lowest basic variable index among the violated.
           if (leave_row < 0 || b < basis_[leave_row]) leave_row = i;
         } else {
-          best_viol = viol;
-          leave_row = i;
+          double score = pricing_.DualScore(i, viol);
+          if (score > best_score) {
+            best_score = score;
+            leave_row = i;
+          }
         }
       }
       if (leave_row < 0) return DualOutcome::kPrimalFeasible;
@@ -638,23 +749,22 @@ class Simplex {
       int s = x_[leave] > ub_[leave] ? +1 : -1;
       double target = s > 0 ? ub_[leave] : lb_[leave];
 
-      // ---- Dual ratio test over the priced pivot row. rho is row
-      // leave_row of B^{-1}; alpha_j = rho . a_j is how entering j moves
-      // the leaving basic. Eligibility keeps the basic moving toward its
-      // violated bound; walking the ratio-sorted candidates keeps every
-      // reduced cost on its feasible side after the step.
-      const double* rho = &binv_[leave_row * m_];
-      ComputeDuals(/*phase1=*/false, &y);
+      // ---- Dual ratio test over the priced pivot row: one sparse BTRAN,
+      // then only the columns the row actually touches (z_pattern_) are
+      // candidates — the old dense scan priced every nonbasic column.
+      // Eligibility keeps the basic moving toward its violated bound;
+      // walking the ratio-sorted candidates keeps every reduced cost on
+      // its feasible side after the step.
+      ComputePivotRow(leave_row);
       struct Cand {
         int j;
         double a;      // priced pivot-row coefficient
         double ratio;  // dual ratio d_j / (s * a_j), clamped >= 0
       };
       std::vector<Cand> cands;
-      for (int j = 0; j < total_; ++j) {
+      for (int j : z_pattern_) {
         if (stat_[j] == VarStat::kBasic) continue;
-        double a = 0.0;
-        for (const auto& [row, coeff] : cols_[j]) a += rho[row] * coeff;
+        double a = z_[j];
         double sa = s * a;
         bool eligible;
         if (stat_[j] == VarStat::kAtLower) {
@@ -665,7 +775,7 @@ class Simplex {
           eligible = std::abs(sa) > opts_.pivot_tol;
         }
         if (!eligible) continue;
-        double d = ReducedCost(j, /*phase1=*/false, y);
+        double d = d_[j];
         // Nonnegative by dual feasibility (at-lower: d >= 0, sa > 0;
         // at-upper: d <= 0, sa < 0; free: d ~ 0); clamp entry-tolerance
         // slack so degenerate steps stay degenerate.
@@ -681,10 +791,12 @@ class Simplex {
       if (bland) {
         // Anti-cycling: plain min-ratio with lowest index on ties, no
         // flips (the termination argument wants one pivot per iteration).
+        // z_pattern_ is not index-sorted, so the tie-break is explicit.
         double best_ratio = kInf;
         for (const Cand& c : cands) {
-          if (c.ratio < best_ratio - 1e-12) {
-            best_ratio = c.ratio;
+          if (c.ratio < best_ratio - 1e-12 ||
+              (c.ratio < best_ratio + 1e-12 && enter >= 0 && c.j < enter)) {
+            best_ratio = std::min(best_ratio, c.ratio);
             enter = c.j;
           }
         }
@@ -727,37 +839,43 @@ class Simplex {
         return DualOutcome::kInfeasible;
       }
 
-      Ftran(enter, &alpha);
-      if (std::abs(alpha[leave_row]) < opts_.pivot_tol) {
+      FtranColumn(enter, &alpha_);
+      if (std::abs(alpha_[leave_row]) < opts_.pivot_tol) {
         // The priced row and the Ftran column disagree about the pivot:
-        // the inverse has drifted. Refactorize and retry (the flips were
-        // not applied yet); give up after repeated disagreement.
+        // the factorization has drifted. Refactorize and retry (the flips
+        // were not applied yet); give up after repeated disagreement.
         numerical_trouble_ = true;
-        if (++bad_pivots > 2 || !Refactorize()) return DualOutcome::kTrouble;
+        if (++bad_pivots > 2 || !RefactorizeBasis()) {
+          return DualOutcome::kTrouble;
+        }
         continue;
       }
 
       ++iterations_;
       ++dual_iterations_;
 
+      // The rank-one updates use pre-pivot statuses; flips don't touch
+      // reduced costs, so fold them in before anything moves.
+      UpdateReducedCostsAfterPivot(enter, leave, alpha_[leave_row]);
+      pricing_.DualUpdate(alpha_, leave_row);
+
       // ---- Apply the bound flips: each moves a nonbasic column to its
       // opposite bound and shifts every basic accordingly (an Ftran per
       // flip, but no pricing pass and no basis change — far cheaper than
       // the dual pivots they replace).
-      std::vector<double> fcol;
       for (const auto& [fj, t] : flips) {
-        Ftran(fj, &fcol);
-        for (int i = 0; i < m_; ++i) x_[basis_[i]] -= fcol[i] * t;
+        FtranColumn(fj, &fcol_);
+        for (int i = 0; i < m_; ++i) x_[basis_[i]] -= fcol_[i] * t;
         x_[fj] = t > 0 ? ub_[fj] : lb_[fj];
         stat_[fj] = t > 0 ? VarStat::kAtUpper : VarStat::kAtLower;
       }
 
       // ---- Pivot: the entering variable absorbs what is left of the
       // leaving basic's excursion past its bound.
-      double dx = (x_[leave] - target) / alpha[leave_row];
+      double dx = (x_[leave] - target) / alpha_[leave_row];
       for (int i = 0; i < m_; ++i) {
         if (i == leave_row) continue;
-        x_[basis_[i]] -= alpha[i] * dx;
+        x_[basis_[i]] -= alpha_[i] * dx;
       }
       x_[enter] += dx;
       x_[leave] = target;
@@ -765,21 +883,15 @@ class Simplex {
       stat_[enter] = VarStat::kBasic;
       basis_[leave_row] = enter;
 
-      if (!PivotUpdate(leave_row, alpha)) {
+      if (!CommitPivot(leave_row, &since_refactor)) {
         numerical_trouble_ = true;
         return DualOutcome::kTrouble;
-      }
-      if (++since_refactor >= opts_.refactor_every) {
-        since_refactor = 0;
-        if (!Refactorize()) {
-          numerical_trouble_ = true;
-          return DualOutcome::kTrouble;
-        }
       }
     }
   }
 
   SimplexOptions opts_;
+  const LpModel& model_;
   int m_, n_, total_;
   double sign_ = 1.0;
   int64_t max_iter_ = 0;
@@ -791,12 +903,29 @@ class Simplex {
   /// is suspect. Run() retries cold when this fires under a warm start.
   bool numerical_trouble_ = false;
 
-  std::vector<std::vector<std::pair<int, double>>> cols_;  // per-variable
   std::vector<double> lb_, ub_, cost_;
   std::vector<int> basis_;
   std::vector<VarStat> stat_;
   std::vector<double> x_;
-  std::vector<double> binv_;  // m x m row-major
+
+  std::unique_ptr<BasisFactorization> fact_;
+  Pricing pricing_;
+
+  /// Incrementally maintained reduced costs (see class comment).
+  std::vector<double> d_;
+  bool d_valid_ = false;
+  bool d_phase1_ = false;  ///< cost vector d_ was computed against
+  /// Phase-1 composite cost snapshot: c1_[j] in {-1, 0, +1}, nonzeros
+  /// listed in c1_nonzero_ for O(active) clearing.
+  std::vector<int8_t> c1_;
+  std::vector<int> c1_nonzero_;
+
+  // Workspaces.
+  std::vector<double> y_, alpha_, rho_, rhs_, fcol_;
+  std::vector<double> z_;       ///< priced pivot row (scatter)
+  std::vector<int> z_mark_;     ///< stamp per column: z_[j] valid this row
+  std::vector<int> z_pattern_;  ///< columns touched by the current row
+  int z_stamp_ = 0;
 
  public:
   void set_bland_threshold(int64_t t) { bland_threshold_ = t; }
@@ -831,7 +960,7 @@ Result<LpSolution> SolveLp(
     }
   }
   Simplex solver(model, options, bound_override);
-  // Switch to Bland's rule after a generous Dantzig budget (immediately
+  // Switch to Bland's rule after a generous pricing budget (immediately
   // when the ablation knob asks for it).
   solver.set_bland_threshold(
       options.always_bland

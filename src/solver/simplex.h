@@ -10,18 +10,26 @@
 //   the cost vector is re-derived each iteration, and infeasible basics
 //   block the ratio test at the bound where their cost segment changes).
 //
-//   Phase 2 is the standard bounded-variable primal simplex with Dantzig
-//   pricing and a Bland's-rule fallback for anti-cycling after a stall
-//   threshold. The basis inverse is kept dense (rows are few in package
-//   models: one per global constraint) and refactorized periodically.
+//   Phase 2 is the standard bounded-variable primal simplex with devex
+//   pricing (Dantzig as an ablation knob) and a Bland's-rule fallback for
+//   anti-cycling after a stall threshold.
+//
+// The linear algebra lives behind two layers (see factorization.h and
+// pricing.h): a BasisFactorization — sparse LU with eta updates by
+// default, the historical dense inverse as the ablation baseline — and a
+// Pricing object scoring entering columns / leaving rows. Reduced costs
+// are maintained incrementally from the priced pivot row (a sparse BTRAN
+// per pivot) instead of being recomputed by a dense scan each iteration,
+// and are rebuilt from fresh duals on every refactorization and before
+// any claim of optimality.
 //
 // When a warm-start basis arrives that is bound-infeasible but still
 // dual-feasible — exactly what a branch-and-bound child inherits after the
 // branch tightened one variable bound — the solve enters a bounded-variable
 // DUAL simplex instead of the phase-1 primal repair: pick the most-violated
-// basic variable (dual Dantzig; lowest-index Bland fallback for
+// basic variable (dual devex row weights; lowest-index Bland fallback for
 // anti-cycling), run the dual ratio test over the priced pivot row, and
-// pivot with the same dense basis-inverse machinery the primal uses.
+// pivot through the same factorization layer the primal uses.
 // Primal feasibility is restored in a few dual pivots while dual
 // feasibility (= optimality) is maintained throughout, so the follow-up
 // primal phases exit immediately. A dual run that hits numerical trouble
@@ -35,7 +43,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "solver/factorization.h"
 #include "solver/model.h"
+#include "solver/pricing.h"
 
 namespace pb::solver {
 
@@ -76,6 +86,11 @@ struct LpSolution {
   /// Subset of `iterations` spent in the dual simplex (0 for cold solves
   /// and for warm starts repaired by the primal phase 1).
   int64_t dual_iterations = 0;
+  /// Full basis factorizations (initial, periodic, and recovery) and
+  /// successful column-replace updates between them. Deterministic for a
+  /// given model/options, so benches gate on them.
+  int64_t refactorizations = 0;
+  int64_t basis_updates = 0;
   /// Final basis; populated when kOptimal (for warm-starting related
   /// solves) and when kIterationLimit (so a re-solve with a raised limit
   /// resumes instead of restarting).
@@ -87,9 +102,16 @@ struct SimplexOptions {
   double opt_tol = 1e-9;      ///< reduced-cost optimality tolerance
   double pivot_tol = 1e-9;    ///< smallest acceptable pivot magnitude
   int64_t max_iterations = 0; ///< 0 = automatic (scaled to model size)
-  int refactor_every = 64;    ///< basis-inverse refactorization period
+  int refactor_every = 64;    ///< basis refactorization period (pivots)
+  /// Linear-algebra backend (see factorization.h). The sparse LU is the
+  /// default engine; the dense inverse is the ablation baseline.
+  FactorizationKind factorization = FactorizationKind::kSparseLu;
+  /// Entering-column / leaving-row selection rule (see pricing.h). Devex
+  /// by default; Dantzig restores the historical candidate ordering.
+  PricingRule pricing = PricingRule::kDevex;
   /// Use Bland's rule from the first iteration (ablation knob; the default
-  /// prices with Dantzig and falls back to Bland only on suspected cycling).
+  /// prices by `pricing` and falls back to Bland only on suspected
+  /// cycling).
   bool always_bland = false;
   /// Enter the dual simplex when a warm basis is bound-infeasible but
   /// dual-feasible (the branch-and-bound child re-solve). Off restores the

@@ -38,7 +38,10 @@ import json
 import sys
 
 # Higher-is-worse effort counters: only increases beyond the threshold fail.
-WORK_COUNTERS = ("lp_iterations", "lp_dual_iterations", "bnb_nodes")
+# refactorizations/basis_updates are the factorization layer's work metric
+# (deterministic, like the iteration counts — see LpSolution).
+WORK_COUNTERS = ("lp_iterations", "lp_dual_iterations", "bnb_nodes",
+                 "refactorizations", "basis_updates")
 # Symmetric determinism canaries: any drift beyond the threshold fails.
 CANARY_COUNTERS = ("presolve_fixed_bounds", "presolve_infeasible_children")
 OBJECTIVE_REL_TOL = 1e-6
