@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/random.h"
+#include "engine/engine.h"
 #include "solver/milp.h"
 #include "solver/simplex.h"
 
@@ -480,5 +481,59 @@ void BM_MilpRoundingHeuristicAblation(benchmark::State& state) {
 }
 BENCHMARK(BM_MilpRoundingHeuristicAblation)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+// Facade-level: one PaQL query through pb::Engine, cold (fresh engine,
+// full parse + translate + solve every iteration) vs warm (result cache
+// primed — repeats are answered bit-identically with zero solver work).
+// Counters are deterministic: single-threaded, fixed dataset seed.
+void BM_EngineQueryCache(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  constexpr char kQuery[] =
+      "SELECT PACKAGE(R) FROM recipes R SUCH THAT COUNT(*) = 3 AND "
+      "SUM(calories) BETWEEN 2000 AND 2500 MAXIMIZE SUM(protein)";
+  pb::engine::EngineOptions options;
+  options.num_threads = 1;
+  double nodes = 0, objective = 0, hits = 0;
+  if (warm) {
+    pb::engine::Engine engine(options);
+    if (!engine.GenerateDataset("recipes", 300, 42).ok()) {
+      state.SkipWithError("dataset generation failed");
+      return;
+    }
+    (void)engine.ExecuteQuery(0, kQuery);  // prime the result cache
+    for (auto _ : state) {
+      auto r = engine.ExecuteQuery(0, kQuery);
+      if (!r.ok() || !r.result_cache_hit) {
+        state.SkipWithError("expected a result-cache hit");
+        return;
+      }
+      hits += 1;
+      objective = r.objective;
+    }
+  } else {
+    for (auto _ : state) {
+      state.PauseTiming();
+      pb::engine::Engine engine(options);
+      if (!engine.GenerateDataset("recipes", 300, 42).ok()) {
+        state.SkipWithError("dataset generation failed");
+        return;
+      }
+      state.ResumeTiming();
+      auto r = engine.ExecuteQuery(0, kQuery);
+      if (!r.ok() || !r.proven_optimal) {
+        state.SkipWithError("query failed");
+        return;
+      }
+      nodes = static_cast<double>(r.nodes);
+      objective = r.objective;
+    }
+  }
+  state.SetLabel(warm ? "warm_cache" : "cold");
+  state.counters["bnb_nodes"] = nodes;
+  state.counters["objective"] = objective;
+  state.counters["cache_hits"] = hits;
+}
+BENCHMARK(BM_EngineQueryCache)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -3,7 +3,9 @@
 // The closest console equivalent of the demo's web interface: load CSVs or
 // synthetic datasets into the catalog, type PaQL queries (possibly across
 // several lines, ';'-terminated), EXPLAIN them, enumerate alternatives, and
-// export the winning package.
+// export the winning package. Since the Engine facade landed, the shell is
+// a thin client of pb::engine::Engine — the same API pbserve exposes over
+// TCP — rather than wiring Catalog + QueryEvaluator by hand.
 //
 //   ./build/examples/pbshell               # starts with synthetic recipes
 //   pb> \help
@@ -19,28 +21,25 @@
 #include <string>
 
 #include "common/strings.h"
-#include "core/enumerator.h"
-#include "core/evaluator.h"
-#include "core/explain.h"
-#include "db/catalog.h"
-#include "db/csv.h"
-#include "datagen/lineitem.h"
-#include "datagen/recipes.h"
-#include "datagen/stocks.h"
-#include "datagen/travel.h"
-#include "paql/analyzer.h"
-#include "ui/template.h"
+#include "engine/engine.h"
 
 namespace {
 
-using pb::core::EvaluationOptions;
-using pb::core::QueryEvaluator;
-
 struct Shell {
-  pb::db::Catalog catalog;
-  EvaluationOptions options;
+  pb::engine::Engine engine;
+  uint64_t session = 0;
   pb::core::Package last_package;
+  std::string last_table;
   std::string last_query;
+
+  Shell()
+      : engine([] {
+          pb::engine::EngineOptions options;
+          options.render_packages = true;  // the template screen
+          return options;
+        }()) {
+    session = engine.OpenSession();
+  }
 
   void Help() {
     std::printf(R"(commands:
@@ -53,16 +52,16 @@ struct Shell {
   \all <k> <query>;          enumerate up to k packages (best first)
   \diverse <k> <query>;      enumerate k diverse packages
   \save <path>               write the last result package as CSV
+  \stats                     engine counters (cache hits, queries, ...)
   \quit                      exit
 anything else ending in ';' is evaluated as a PaQL query.
 )");
   }
 
   void Tables() {
-    for (const auto& name : catalog.TableNames()) {
-      auto t = catalog.Get(name);
-      std::printf("  %-20s %zu rows, %zu columns\n", name.c_str(),
-                  (*t)->num_rows(), (*t)->schema().num_columns());
+    for (const auto& info : engine.Tables()) {
+      std::printf("  %-20s %zu rows, %zu columns\n", info.name.c_str(),
+                  info.rows, info.columns);
     }
   }
 
@@ -71,20 +70,13 @@ anything else ending in ';' is evaluated as a PaQL query.
     size_t n = 1000;
     uint64_t seed = 42;
     args >> kind >> n >> seed;
-    if (kind == "recipes") {
-      catalog.RegisterOrReplace(pb::datagen::GenerateRecipes(n, seed));
-    } else if (kind == "travel") {
-      catalog.RegisterOrReplace(pb::datagen::GenerateTravelItems(n, seed));
-    } else if (kind == "stocks") {
-      catalog.RegisterOrReplace(pb::datagen::GenerateStocks(n, seed));
-    } else if (kind == "lineitem") {
-      catalog.RegisterOrReplace(pb::datagen::GenerateLineitems(n, seed));
-    } else {
-      std::printf("unknown dataset kind '%s'\n", kind.c_str());
+    auto rows = engine.GenerateDataset(kind, n, seed);
+    if (!rows.ok()) {
+      std::printf("%s\n", rows.status().ToString().c_str());
       return;
     }
-    std::printf("generated %zu rows of %s (seed %llu)\n", n, kind.c_str(),
-                static_cast<unsigned long long>(seed));
+    std::printf("generated %zu rows of %s (seed %llu)\n", *rows,
+                kind.c_str(), static_cast<unsigned long long>(seed));
   }
 
   void Load(std::istringstream& args) {
@@ -94,29 +86,28 @@ anything else ending in ';' is evaluated as a PaQL query.
       std::printf("usage: \\load <path> <name>\n");
       return;
     }
-    auto t = pb::db::ReadCsvFile(path, name);
-    if (!t.ok()) {
-      std::printf("%s\n", t.status().ToString().c_str());
+    auto rows = engine.LoadCsv(path, name);
+    if (!rows.ok()) {
+      std::printf("%s\n", rows.status().ToString().c_str());
       return;
     }
-    std::printf("loaded %zu rows into '%s'\n", t->num_rows(), name.c_str());
-    catalog.RegisterOrReplace(std::move(t).value());
+    std::printf("loaded %zu rows into '%s'\n", *rows, name.c_str());
   }
 
   void Show(std::istringstream& args) {
     std::string name;
     size_t rows = 10;
     args >> name >> rows;
-    auto t = catalog.Get(name);
-    if (!t.ok()) {
-      std::printf("%s\n", t.status().ToString().c_str());
+    auto rendered = engine.RenderTable(name, rows);
+    if (!rendered.ok()) {
+      std::printf("%s\n", rendered.status().ToString().c_str());
       return;
     }
-    std::printf("%s", (*t)->ToString(rows).c_str());
+    std::printf("%s", rendered->c_str());
   }
 
   void Explain(const std::string& query) {
-    auto plan = pb::core::ExplainQuery(query, catalog, options);
+    auto plan = engine.Explain(query);
     if (!plan.ok()) {
       std::printf("%s\n", plan.status().ToString().c_str());
       return;
@@ -125,53 +116,36 @@ anything else ending in ';' is evaluated as a PaQL query.
   }
 
   void Evaluate(const std::string& query) {
-    auto aq = pb::paql::ParseAndAnalyze(query, catalog);
-    if (!aq.ok()) {
-      std::printf("%s\n", aq.status().ToString().c_str());
-      return;
-    }
-    QueryEvaluator evaluator(&catalog);
-    auto r = evaluator.Evaluate(*aq, options);
+    pb::engine::QueryResponse r = engine.ExecuteQuery(session, query);
     if (!r.ok()) {
-      std::printf("%s\n", r.status().ToString().c_str());
+      std::printf("%s\n", r.status.ToString().c_str());
       return;
     }
-    last_package = r->package;
+    last_package = r.package;
+    last_table = r.table;
     last_query = query;
-    auto screen = pb::ui::RenderPackageTemplate(*aq, r->package,
-                                                {.show_paql = false});
-    if (screen.ok()) std::printf("%s", screen->c_str());
-    std::printf("[%s, %.2f ms%s%s]\n",
-                pb::core::StrategyToString(r->strategy_used),
-                r->seconds * 1e3,
-                aq->has_objective
-                    ? (", objective " + pb::FormatDouble(r->objective, 6))
-                          .c_str()
-                    : "",
-                r->proven_optimal ? ", proven optimal" : "");
+    if (!r.rendered.empty()) std::printf("%s", r.rendered.c_str());
+    std::string objective;
+    if (r.has_objective) {
+      objective = ", objective " + pb::FormatDouble(r.objective, 6);
+    }
+    std::printf("[%s, %.2f ms%s%s%s]\n", r.strategy.c_str(),
+                r.total_seconds * 1e3, objective.c_str(),
+                r.proven_optimal ? ", proven optimal" : "",
+                r.result_cache_hit ? ", cached" : "");
   }
 
   void EvaluateMany(const std::string& query, size_t k, bool diverse) {
-    auto aq = pb::paql::ParseAndAnalyze(query, catalog);
-    if (!aq.ok()) {
-      std::printf("%s\n", aq.status().ToString().c_str());
-      return;
-    }
-    auto packages = diverse ? pb::core::EnumerateDiverse(*aq, k)
-                            : pb::core::EnumerateViaSolver(*aq, [&] {
-                                pb::core::EnumerateOptions o;
-                                o.max_packages = k;
-                                return o;
-                              }());
+    auto packages = engine.Enumerate(query, k, diverse);
     if (!packages.ok()) {
       std::printf("%s\n", packages.status().ToString().c_str());
       return;
     }
     std::printf("%zu package(s):\n", packages->size());
     for (size_t i = 0; i < packages->size(); ++i) {
-      auto obj = pb::core::PackageObjective(*aq, (*packages)[i]);
+      auto obj = engine.EvaluateObjective(query, (*packages)[i]);
       std::printf("  #%zu  {%s}", i + 1, (*packages)[i].Fingerprint().c_str());
-      if (aq->has_objective && obj.ok()) {
+      if (obj.ok() && *obj != 0.0) {
         std::printf("  objective %s", pb::FormatDouble(*obj, 6).c_str());
       }
       std::printf("\n");
@@ -179,26 +153,34 @@ anything else ending in ';' is evaluated as a PaQL query.
     if (!packages->empty()) {
       last_package = (*packages)[0];
       last_query = query;
+      auto table = engine.BaseTable(query);
+      last_table = table.ok() ? *table : "";
     }
   }
 
   void Save(std::istringstream& args) {
     std::string path;
     args >> path;
-    if (path.empty() || last_query.empty()) {
+    if (path.empty() || last_table.empty()) {
       std::printf("nothing to save (run a query first)\n");
       return;
     }
-    auto aq = pb::paql::ParseAndAnalyze(last_query, catalog);
-    if (!aq.ok()) {
-      std::printf("%s\n", aq.status().ToString().c_str());
-      return;
-    }
-    pb::db::Table t =
-        pb::core::MaterializePackage(*aq->table, last_package, "package");
-    auto s = pb::db::WriteCsvFile(t, path);
-    std::printf("%s\n", s.ok() ? ("wrote " + path).c_str()
-                               : s.ToString().c_str());
+    pb::Status s = engine.WritePackageCsv(last_table, last_package, path);
+    std::printf("%s\n",
+                s.ok() ? ("wrote " + path).c_str() : s.ToString().c_str());
+  }
+
+  void Stats() {
+    const pb::engine::EngineStats s = engine.stats();
+    std::printf("  queries %lld (errors %lld, cancelled %lld)\n",
+                static_cast<long long>(s.queries),
+                static_cast<long long>(s.errors),
+                static_cast<long long>(s.cancelled));
+    std::printf("  result cache hits %lld; warm starts %lld hit / %lld "
+                "cold\n",
+                static_cast<long long>(s.result_cache_hits),
+                static_cast<long long>(s.warm_cache_hits),
+                static_cast<long long>(s.warm_cache_misses));
   }
 
   /// Dispatches one complete input (a '\' command line or a ';' query).
@@ -217,6 +199,7 @@ anything else ending in ';' is evaluated as a PaQL query.
       else if (cmd == "load") Load(args);
       else if (cmd == "show") Show(args);
       else if (cmd == "save") Save(args);
+      else if (cmd == "stats") Stats();
       else if (cmd == "explain" || cmd == "all" || cmd == "diverse") {
         size_t k = 5;
         if (cmd != "explain") args >> k;
@@ -241,12 +224,11 @@ anything else ending in ';' is evaluated as a PaQL query.
 
 int main() {
   Shell shell;
-  shell.catalog.RegisterOrReplace(pb::datagen::GenerateRecipes(500, 42));
+  (void)shell.engine.GenerateDataset("recipes", 500, 42);
   std::printf("PackageBuilder shell -- 'recipes' (500 rows) is preloaded; "
               "\\help for commands\n");
   std::string buffer;
   std::string line;
-  bool interactive = true;
   while (true) {
     std::printf(buffer.empty() ? "pb> " : "  > ");
     std::fflush(stdout);
@@ -263,6 +245,5 @@ int main() {
       if (!keep_going) break;
     }
   }
-  (void)interactive;
   return 0;
 }

@@ -1,0 +1,37 @@
+#include "common/budget.h"
+
+#include <cmath>
+#include <limits>
+
+namespace pb {
+
+Deadline Deadline::AfterSeconds(double seconds) {
+  Deadline d;
+  if (std::isnan(seconds) ||
+      seconds == std::numeric_limits<double>::infinity()) {
+    return d;  // no deadline
+  }
+  d.has_ = true;
+  if (seconds <= 0.0) {
+    d.when_ = std::chrono::steady_clock::now();
+    return d;
+  }
+  // Saturate instead of overflowing the duration representation for very
+  // large finite budgets.
+  constexpr double kMaxSeconds = 1e9;  // ~31 years: effectively unbounded
+  if (seconds > kMaxSeconds) seconds = kMaxSeconds;
+  d.when_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+  return d;
+}
+
+double Deadline::SecondsRemaining() const {
+  if (!has_) return std::numeric_limits<double>::infinity();
+  double s = std::chrono::duration<double>(
+                 when_ - std::chrono::steady_clock::now())
+                 .count();
+  return s > 0.0 ? s : 0.0;
+}
+
+}  // namespace pb

@@ -13,7 +13,14 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 double Log2Factorial(int64_t n) {
   if (n <= 1) return 0.0;
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the global signgam — a data race under concurrent
+  // queries. lgamma_r is the reentrant form.
+  int sign = 0;
+  return ::lgamma_r(static_cast<double>(n) + 1.0, &sign) * kLog2E;
+#else
   return std::lgamma(static_cast<double>(n) + 1.0) * kLog2E;
+#endif
 }
 
 double Log2Binomial(int64_t n, int64_t k) {

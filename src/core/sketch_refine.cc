@@ -115,7 +115,30 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
   // The authoritative thread budget for every solve this call runs; a
   // caller-set options.milp.num_threads is always overridden from it
   // (like options.milp.warm) so no path can oversubscribe the host.
-  const int thread_budget = std::max(options.num_threads, 1);
+  // Deprecated aliases resolve against the unified ComputeBudget (larger
+  // wins; see common/budget.h).
+  const int thread_budget =
+      ResolveThreads(options.compute.threads, options.num_threads);
+
+  // Interruption plumbing: milp.cancel is polled between phases and
+  // sub-solves (each solve also polls it per node), and milp.time_limit_s
+  // bounds the WHOLE call — every sub-solve's own limit is clamped to the
+  // time remaining so the pipeline never overshoots by its solve count.
+  const CancelToken cancel = options.milp.cancel;
+  const Deadline deadline = Deadline::AfterSeconds(options.milp.time_limit_s);
+  auto interrupted = [&] {
+    return cancel.cancel_requested() || deadline.expired();
+  };
+  auto budgeted_milp = [&] {
+    solver::MilpOptions m = options.milp;
+    m.time_limit_s = std::min(m.time_limit_s, deadline.SecondsRemaining());
+    // Thread counts are always assigned by this call's budget split (via
+    // the num_threads alias at each solve site); reset the caller's
+    // ComputeBudget so the max-resolution rule cannot smuggle a larger
+    // count past the authoritative thread_budget.
+    m.compute.threads = 1;
+    return m;
+  };
 
   // ---- Candidates, weights, rows.
   PB_ASSIGN_OR_RETURN(std::vector<size_t> candidates,
@@ -226,6 +249,10 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
   // the signature check detects and resets automatically.
   solver::MilpWarmStart sketch_warm;
   for (int attempt = 0; attempt <= options.max_backtracks; ++attempt) {
+    if (interrupted()) {
+      out.cancelled = true;
+      return out;
+    }
     // Sketch model: one integer variable per (non-excluded) group.
     phase_timer.Restart();
     solver::LpModel sketch;
@@ -250,7 +277,7 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     }
     if (sketch.num_variables() == 0) break;
     out.sketch_variables = sketch.num_variables();
-    solver::MilpOptions sketch_milp = options.milp;
+    solver::MilpOptions sketch_milp = budgeted_milp();
     sketch_milp.warm = &sketch_warm;
     // The sketch ILP is one monolithic solve, so the whole thread budget
     // goes to its tree search (bit-identical for any count).
@@ -261,6 +288,12 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     out.lp_dual_iterations += sk.lp_dual_iterations;
     out.lp_refactorizations += sk.lp_refactorizations;
     out.sketch_seconds += phase_timer.ElapsedSeconds();
+    if (interrupted()) {
+      // A cancelled/out-of-time sketch solve surfaces kNoSolution; report
+      // the interruption rather than a (misleading) plain failure.
+      out.cancelled = true;
+      return out;
+    }
     if (!sk.has_solution()) break;  // sketch infeasible: give up
 
     std::vector<int64_t> group_mult(groups.size(), 0);
@@ -355,14 +388,19 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     // clamped into [1, budget] so the budget is authoritative. Any split
     // yields the identical result — each MILP solve is thread-count
     // invariant — so the knob only moves where the hardware effort goes.
-    const int node_threads =
-        std::min(std::max(options.node_threads, 1), thread_budget);
+    const int node_threads = std::min(
+        ResolveThreads(options.compute.node_threads, options.node_threads),
+        thread_budget);
     auto solve_task = [&](RefineTask& task) {
+      // A task that starts after interruption leaves its solution at the
+      // kNoSolution default — the merge below then routes through repair,
+      // whose own interruption check returns before any re-solve.
+      if (interrupted()) return;
       // Each task owns its warm-start state: safe under the thread pool
       // (no sharing) and deterministic (state depends only on the task's
       // own solves). A caller-provided options.milp.warm would be shared
       // across concurrent tasks, so it is always overridden here.
-      solver::MilpOptions task_milp = options.milp;
+      solver::MilpOptions task_milp = budgeted_milp();
       task_milp.warm = &task.warm;
       // Like `warm`, always overridden: a caller-set milp.num_threads
       // would multiply with the group fan-out and overrun the budget.
@@ -395,6 +433,11 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       out.lp_iterations += task.solution.lp_iterations;
       out.lp_dual_iterations += task.solution.lp_dual_iterations;
       out.lp_refactorizations += task.solution.lp_refactorizations;
+    }
+    if (interrupted()) {
+      out.refine_seconds += phase_timer.ElapsedSeconds();
+      out.cancelled = true;
+      return out;
     }
 
     // Deterministic merge in refine order. The merged package stands only
@@ -441,6 +484,11 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       for (size_t g : refine_order) mult[rep[g]] += group_mult[g];
       std::vector<double> drift(rows.size(), 0.0);
       for (size_t t = 0; t < refine_order.size(); ++t) {
+        if (interrupted()) {
+          out.refine_seconds += phase_timer.ElapsedSeconds();
+          out.cancelled = true;
+          return out;
+        }
         size_t g = refine_order[t];
         std::vector<double> others(rows.size());
         for (size_t r = 0; r < rows.size(); ++r) {
@@ -453,7 +501,7 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
           // Same group, same model structure, shifted residual ranges: the
           // task's cached root basis and pseudocost history carry over
           // (sequential pass, so borrowing the task's warm state is safe).
-          solver::MilpOptions repair_milp = options.milp;
+          solver::MilpOptions repair_milp = budgeted_milp();
           repair_milp.warm = &tasks[t].warm;
           // The repair pass is sequential: each re-solve gets the whole
           // thread budget as tree parallelism.

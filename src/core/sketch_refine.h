@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "core/package.h"
 #include "solver/milp.h"
@@ -56,6 +57,21 @@ struct SketchRefineOptions {
   /// Backtracking budget: how many failed groups may be excluded from the
   /// sketch before giving up.
   int max_backtracks = 4;
+  /// Unified thread budget (see common/budget.h): `compute.threads` is the
+  /// total budget, `compute.node_threads` the per-sub-ILP tree share. The
+  /// fields below are DEPRECATED aliases kept for one release; each knob
+  /// resolves to max(compute field, alias), both defaulting to 1.
+  ///
+  /// Cancellation and deadlines ride in `milp`: milp.cancel is polled
+  /// between every phase and sub-solve here (and inside each solve's own
+  /// tree search), and milp.time_limit_s bounds the WHOLE SketchRefine
+  /// call — each sub-solve's limit is clamped to the time remaining, so
+  /// the pipeline cannot overshoot the budget by a factor of its solve
+  /// count. A cancelled or out-of-time call returns found == false with
+  /// whatever phase counters were already earned; it never returns a
+  /// partially merged package.
+  ComputeBudget compute;
+  /// DEPRECATED alias for compute.threads (see above).
   /// Total thread budget for the solve phases. The Refine phase splits it
   /// between group-level and node-level parallelism: num_threads /
   /// node_threads groups solve concurrently, each sub-ILP running its
@@ -67,6 +83,7 @@ struct SketchRefineOptions {
   /// can surface a different incumbent under CPU contention; use
   /// `milp.max_nodes` as the budget when reproducibility matters).
   int num_threads = 1;
+  /// DEPRECATED alias for compute.node_threads (see above).
   /// Threads each refine sub-ILP's tree search gets
   /// (MilpOptions::num_threads for the per-group solves), clamped into
   /// [1, num_threads] so the total budget stays authoritative. 1 — the
@@ -86,6 +103,9 @@ struct SketchRefineResult {
   size_t num_partitions = 0;
   size_t sketch_variables = 0;
   int backtracks = 0;
+  /// True when the run stopped early because milp.cancel requested it or
+  /// the milp.time_limit_s whole-call budget ran out (found is then false).
+  bool cancelled = false;
   /// Sequential repair passes taken after a parallel refine drifted out of
   /// feasibility (0 when the independent solves merged cleanly).
   int repair_passes = 0;

@@ -1,0 +1,523 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/enumerator.h"
+#include "core/translator.h"
+#include "datagen/lineitem.h"
+#include "datagen/recipes.h"
+#include "datagen/stocks.h"
+#include "datagen/travel.h"
+#include "db/csv.h"
+#include "db/ops.h"
+#include "paql/analyzer.h"
+#include "ui/template.h"
+
+namespace pb::engine {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  num_threads_ = options_.num_threads > 0
+                     ? options_.num_threads
+                     : std::max(1u, std::thread::hardware_concurrency());
+  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(num_threads_));
+  unclaimed_threads_.store(num_threads_, std::memory_order_relaxed);
+}
+
+Engine::~Engine() {
+  // Drain and join the pool before any member it references goes away.
+  pool_.reset();
+}
+
+// ---------------------------------------------------------------- catalog
+
+Status Engine::RegisterTable(db::Table table) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  Status s = catalog_.Register(std::move(table));
+  if (s.ok()) ++catalog_generation_;
+  return s;
+}
+
+void Engine::RegisterOrReplaceTable(db::Table table) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  catalog_.RegisterOrReplace(std::move(table));
+  ++catalog_generation_;
+}
+
+Status Engine::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  Status s = catalog_.Drop(name);
+  if (s.ok()) ++catalog_generation_;
+  return s;
+}
+
+Result<size_t> Engine::LoadCsv(const std::string& path,
+                               const std::string& name) {
+  // File IO happens outside the catalog lock.
+  PB_ASSIGN_OR_RETURN(db::Table table, db::ReadCsvFile(path, name));
+  const size_t rows = table.num_rows();
+  RegisterOrReplaceTable(std::move(table));
+  return rows;
+}
+
+Result<size_t> Engine::GenerateDataset(const std::string& kind, size_t n,
+                                       uint64_t seed) {
+  db::Table table;
+  if (kind == "recipes") {
+    table = datagen::GenerateRecipes(n, seed);
+  } else if (kind == "travel") {
+    table = datagen::GenerateTravelItems(n, seed);
+  } else if (kind == "stocks") {
+    table = datagen::GenerateStocks(n, seed);
+  } else if (kind == "lineitem") {
+    table = datagen::GenerateLineitems(n, seed);
+  } else {
+    return Status::InvalidArgument(
+        "unknown dataset kind '" + kind +
+        "' (expected recipes|travel|stocks|lineitem)");
+  }
+  const size_t rows = table.num_rows();
+  RegisterOrReplaceTable(std::move(table));
+  return rows;
+}
+
+std::vector<std::string> Engine::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return catalog_.TableNames();
+}
+
+std::vector<Engine::TableInfo> Engine::Tables() const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::vector<TableInfo> out;
+  for (const std::string& name : catalog_.TableNames()) {
+    auto table = catalog_.Get(name);
+    if (!table.ok()) continue;
+    out.push_back(
+        {name, (*table)->num_rows(), (*table)->schema().num_columns()});
+  }
+  return out;
+}
+
+Result<std::string> Engine::RenderTable(const std::string& name,
+                                        size_t max_rows) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  PB_ASSIGN_OR_RETURN(const db::Table* table, catalog_.Get(name));
+  return table->ToString(max_rows);
+}
+
+// ---------------------------------------------------------------- sessions
+
+uint64_t Engine::OpenSession() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const uint64_t id = next_session_++;
+  sessions_.emplace(id, std::make_shared<Session>());
+  return id;
+}
+
+Status Engine::CloseSession(uint64_t session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session " + std::to_string(session));
+  }
+  // An in-flight query keeps its shared_ptr; cancel it on the way out so
+  // closing a session never leaves work running on its behalf.
+  {
+    std::lock_guard<std::mutex> slock(it->second->mu);
+    if (it->second->active.valid()) it->second->active.RequestCancel();
+  }
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+Status Engine::CancelSession(uint64_t session) {
+  std::shared_ptr<Session> s = FindSession(session);
+  if (!s) {
+    return Status::NotFound("unknown session " + std::to_string(session));
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->active.valid()) s->active.RequestCancel();
+  return Status::OK();
+}
+
+std::shared_ptr<Engine::Session> Engine::FindSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+// ------------------------------------------------------------------ caches
+
+bool Engine::LookupResultCache(const std::string& key, QueryResponse* out) {
+  std::lock_guard<std::mutex> lock(result_mu_);
+  auto it = result_map_.find(key);
+  if (it == result_map_.end()) return false;
+  result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
+  *out = it->second->second;
+  out->result_cache_hit = true;
+  // Timings describe THIS call, not the original solve.
+  out->parse_seconds = 0.0;
+  out->solve_seconds = 0.0;
+  out->total_seconds = 0.0;
+  return true;
+}
+
+void Engine::StoreResultCache(const std::string& key,
+                              const QueryResponse& resp) {
+  if (options_.result_cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(result_mu_);
+  auto it = result_map_.find(key);
+  if (it != result_map_.end()) {
+    result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
+    it->second->second = resp;
+    return;
+  }
+  result_lru_.emplace_front(key, resp);
+  result_map_[key] = result_lru_.begin();
+  while (result_map_.size() > options_.result_cache_capacity) {
+    result_map_.erase(result_lru_.back().first);
+    result_lru_.pop_back();
+  }
+}
+
+std::shared_ptr<Engine::WarmEntry> Engine::GetWarmEntry(uint64_t signature) {
+  std::lock_guard<std::mutex> lock(warm_mu_);
+  auto it = warm_map_.find(signature);
+  if (it != warm_map_.end()) {
+    warm_lru_.splice(warm_lru_.begin(), warm_lru_, it->second.lru);
+    return it->second.entry;
+  }
+  warm_lru_.push_front(signature);
+  auto entry = std::make_shared<WarmEntry>();
+  warm_map_[signature] = {warm_lru_.begin(), entry};
+  while (warm_map_.size() > std::max<size_t>(1, options_.warm_cache_capacity)) {
+    // In-flight solves keep their shared_ptr; eviction only drops the
+    // cache's reference.
+    warm_map_.erase(warm_lru_.back());
+    warm_lru_.pop_back();
+  }
+  return entry;
+}
+
+// ----------------------------------------------------------- thread ledger
+
+int Engine::AcquireThreads(int requested) {
+  requested = std::max(1, requested);
+  int avail = unclaimed_threads_.load(std::memory_order_relaxed);
+  int take = 0;
+  do {
+    take = std::min(requested, std::max(0, avail));
+    if (take == 0) return 0;
+  } while (!unclaimed_threads_.compare_exchange_weak(
+      avail, avail - take, std::memory_order_relaxed));
+  return take;
+}
+
+void Engine::ReleaseThreads(int claimed) {
+  if (claimed > 0) {
+    unclaimed_threads_.fetch_add(claimed, std::memory_order_relaxed);
+  }
+}
+
+// ----------------------------------------------------------------- queries
+
+QueryResponse Engine::ExecuteQuery(uint64_t session_id,
+                                   const std::string& paql,
+                                   const QueryBudget& budget) {
+  Stopwatch total;
+  // Every query gets a live token so CancelSession always has a target.
+  CancelToken token =
+      budget.cancel.valid() ? budget.cancel : CancelToken::Create();
+
+  std::shared_ptr<Session> session;
+  if (session_id != 0) {
+    session = FindSession(session_id);
+    if (!session) {
+      QueryResponse resp;
+      resp.status =
+          Status::NotFound("unknown session " + std::to_string(session_id));
+      resp.total_seconds = total.ElapsedSeconds();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.queries;
+      ++stats_.errors;
+      return resp;
+    }
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->active = token;
+  }
+
+  QueryResponse resp = Run(paql, budget, token);
+
+  if (session) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->active = CancelToken();
+  }
+  resp.total_seconds = total.ElapsedSeconds();
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.queries;
+  if (!resp.status.ok()) ++stats_.errors;
+  if (resp.cancelled) ++stats_.cancelled;
+  if (resp.result_cache_hit) ++stats_.result_cache_hits;
+  return resp;
+}
+
+bool Engine::SubmitQuery(uint64_t session, std::string paql,
+                         QueryBudget budget,
+                         std::function<void(QueryResponse)> done) {
+  const int64_t in_flight = pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (in_flight >= static_cast<int64_t>(options_.max_pending_queries)) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.overload_rejections;
+    return false;
+  }
+  pool_->Submit([this, session, paql = std::move(paql), budget,
+                 done = std::move(done)]() mutable {
+    QueryResponse resp = ExecuteQuery(session, paql, budget);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    done(std::move(resp));
+  });
+  return true;
+}
+
+QueryResponse Engine::Run(const std::string& paql, const QueryBudget& budget,
+                          const CancelToken& token) {
+  QueryResponse resp;
+  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+
+  const std::string key = std::to_string(catalog_generation_) + "\n" +
+                          std::string(StripAsciiWhitespace(paql));
+  if (LookupResultCache(key, &resp)) return resp;
+
+  Stopwatch parse_timer;
+  auto aq_or = paql::ParseAndAnalyze(paql, catalog_);
+  resp.parse_seconds = parse_timer.ElapsedSeconds();
+  if (!aq_or.ok()) {
+    resp.status = aq_or.status();
+    return resp;
+  }
+  const paql::AnalyzedQuery& aq = *aq_or;
+  resp.table = aq.table->name();
+  resp.has_objective = aq.has_objective;
+
+  // Budget: the deadline covers the whole call; each strategy's own limit
+  // is clamped to the time remaining when it starts.
+  const double limit = budget.time_limit_s > 0.0
+                           ? budget.time_limit_s
+                           : options_.defaults.milp.time_limit_s;
+  const Deadline deadline = Deadline::AfterSeconds(limit);
+  const int claimed = AcquireThreads(ResolveThreads(budget.compute.threads, 1));
+
+  core::EvaluationOptions eo = options_.defaults;
+  eo.milp.cancel = token;
+  eo.milp.time_limit_s = deadline.SecondsRemaining();
+  if (budget.max_nodes > 0) eo.milp.max_nodes = budget.max_nodes;
+  eo.milp.compute.threads = std::max(1, claimed);
+  eo.local_search.time_limit_s =
+      std::min(eo.local_search.time_limit_s, deadline.SecondsRemaining());
+  eo.brute_force.time_limit_s =
+      std::min(eo.brute_force.time_limit_s, deadline.SecondsRemaining());
+
+  Stopwatch solve_timer;
+  const bool translatable =
+      aq.ilp_translatable && (!aq.has_objective || aq.objective_linear);
+  const bool force_search = eo.strategy == core::Strategy::kBruteForce ||
+                            eo.strategy == core::Strategy::kLocalSearch;
+  if (force_search || !translatable) {
+    RunEvaluatorPath(aq, eo, &resp);
+  } else {
+    auto candidates_or = db::FilterIndices(*aq.table, aq.query.where);
+    if (!candidates_or.ok()) {
+      resp.status = candidates_or.status();
+    } else {
+      resp.num_candidates = candidates_or->size();
+      auto bounds_or = core::DeriveCardinalityBounds(aq, *candidates_or);
+      if (!bounds_or.ok()) {
+        resp.status = bounds_or.status();
+      } else if (eo.use_pruning && bounds_or->infeasible) {
+        resp.strategy = "Pruning";
+        resp.status = Status::Infeasible(
+            "cardinality pruning proves no package can satisfy the "
+            "constraints");
+      } else {
+        RunIlpPath(aq, eo, *bounds_or, &resp);
+      }
+    }
+  }
+  resp.solve_seconds = solve_timer.ElapsedSeconds();
+  ReleaseThreads(claimed);
+
+  if (resp.status.ok() && options_.render_packages) {
+    auto screen =
+        ui::RenderPackageTemplate(aq, resp.package, {.show_paql = false});
+    if (screen.ok()) resp.rendered = *std::move(screen);
+  }
+
+  // Cache only answers that are proofs: optimal completions and
+  // pruning-proven infeasibility. Heuristic/limited/cancelled responses
+  // could legally differ on a re-run, so they must not be replayed.
+  const bool cacheable =
+      (resp.status.ok() && resp.proven_optimal && !resp.cancelled) ||
+      resp.strategy == "Pruning";
+  if (cacheable) StoreResultCache(key, resp);
+  return resp;
+}
+
+void Engine::RunIlpPath(const paql::AnalyzedQuery& aq,
+                        const core::EvaluationOptions& eo,
+                        const core::CardinalityBounds& bounds,
+                        QueryResponse* resp) {
+  core::TranslateOptions topts;
+  if (eo.use_pruning) topts.bounds = &bounds;
+  auto translation_or = core::TranslateToIlp(aq, topts);
+  if (!translation_or.ok()) {
+    if (translation_or.status().code() == StatusCode::kUnimplemented) {
+      RunEvaluatorPath(aq, eo, resp);
+      return;
+    }
+    resp->strategy = "IlpSolver";
+    resp->status = translation_or.status();
+    return;
+  }
+  const core::IlpTranslation& translation = *translation_or;
+  resp->strategy = "IlpSolver";
+  resp->num_candidates = translation.candidates.size();
+  const uint64_t signature = translation.model.StructuralSignature();
+  resp->model_signature = signature;
+
+  std::shared_ptr<WarmEntry> entry = GetWarmEntry(signature);
+  solver::MilpOptions milp = eo.milp;
+  solver::MilpResult r;
+  {
+    // MilpWarmStart is not thread-safe; the entry mutex serializes the
+    // solves that share this structural signature.
+    std::lock_guard<std::mutex> lock(entry->mu);
+    resp->warm_start_hit =
+        entry->used && entry->warm.model_signature == signature;
+    milp.warm = &entry->warm;
+    auto result_or = solver::SolveMilp(translation.model, milp);
+    if (!result_or.ok()) {
+      resp->status = result_or.status();
+      return;
+    }
+    r = *std::move(result_or);
+    entry->used = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++(resp->warm_start_hit ? stats_.warm_cache_hits
+                            : stats_.warm_cache_misses);
+  }
+
+  resp->cancelled = r.cancelled;
+  resp->nodes = r.nodes;
+  resp->lp_iterations = r.lp_iterations;
+  switch (r.status) {
+    case solver::MilpStatus::kOptimal:
+    case solver::MilpStatus::kFeasible:
+      resp->package = core::DecodeSolution(translation, r.x);
+      resp->objective = aq.has_objective ? r.objective : 0.0;
+      resp->proven_optimal = r.status == solver::MilpStatus::kOptimal;
+      return;
+    case solver::MilpStatus::kInfeasible:
+      resp->status =
+          Status::Infeasible("no package satisfies the constraints");
+      return;
+    case solver::MilpStatus::kUnbounded:
+      resp->status = Status::Unbounded(
+          "the objective is unbounded (add COUNT/SUM limits)");
+      return;
+    case solver::MilpStatus::kNoSolution:
+      resp->status = Status::ResourceExhausted(
+          r.cancelled ? "query cancelled before a package was found"
+                      : "query budget exhausted before a package was found");
+      return;
+  }
+  resp->status = Status::Internal("unknown solver status");
+}
+
+void Engine::RunEvaluatorPath(const paql::AnalyzedQuery& aq,
+                              const core::EvaluationOptions& eo,
+                              QueryResponse* resp) {
+  core::QueryEvaluator evaluator(&catalog_);
+  auto result_or = evaluator.Evaluate(aq, eo);
+  if (!result_or.ok()) {
+    resp->status = result_or.status();
+    if (result_or.status().code() == StatusCode::kResourceExhausted &&
+        eo.milp.cancel.cancel_requested()) {
+      resp->cancelled = true;
+    }
+    return;
+  }
+  const core::EvaluationResult& r = *result_or;
+  resp->strategy = core::StrategyToString(r.strategy_used);
+  resp->package = r.package;
+  resp->objective = r.objective;
+  resp->proven_optimal = r.proven_optimal;
+  resp->num_candidates = r.num_candidates;
+  if (r.milp) {
+    resp->nodes = r.milp->nodes;
+    resp->lp_iterations = r.milp->lp_iterations;
+    resp->cancelled = r.milp->cancelled;
+  }
+}
+
+// --------------------------------------------------------- facade wrappers
+
+Result<core::QueryPlan> Engine::Explain(const std::string& paql) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  return core::ExplainQuery(paql, catalog_, options_.defaults);
+}
+
+Result<std::vector<core::Package>> Engine::Enumerate(const std::string& paql,
+                                                     size_t k,
+                                                     bool diverse) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  PB_ASSIGN_OR_RETURN(paql::AnalyzedQuery aq,
+                      paql::ParseAndAnalyze(paql, catalog_));
+  if (diverse) return core::EnumerateDiverse(aq, k);
+  const bool translatable =
+      aq.ilp_translatable && (!aq.has_objective || aq.objective_linear);
+  if (translatable && aq.max_multiplicity == 1) {
+    core::EnumerateOptions opts;
+    opts.max_packages = k;
+    opts.milp = options_.defaults.milp;
+    return core::EnumerateViaSolver(aq, opts);
+  }
+  return core::EnumerateExhaustively(aq, k, options_.defaults.brute_force);
+}
+
+Status Engine::WritePackageCsv(const std::string& table,
+                               const core::Package& package,
+                               const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  PB_ASSIGN_OR_RETURN(const db::Table* base, catalog_.Get(table));
+  db::Table materialized =
+      core::MaterializePackage(*base, package, "package");
+  return db::WriteCsvFile(materialized, path);
+}
+
+Result<std::string> Engine::BaseTable(const std::string& paql) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  PB_ASSIGN_OR_RETURN(paql::AnalyzedQuery aq,
+                      paql::ParseAndAnalyze(paql, catalog_));
+  return aq.table->name();
+}
+
+Result<double> Engine::EvaluateObjective(const std::string& paql,
+                                         const core::Package& package) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  PB_ASSIGN_OR_RETURN(paql::AnalyzedQuery aq,
+                      paql::ParseAndAnalyze(paql, catalog_));
+  return core::PackageObjective(aq, package);
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace pb::engine

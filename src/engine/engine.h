@@ -1,0 +1,278 @@
+// pb::Engine — the re-entrant facade over the whole PackageBuilder stack.
+//
+// Every front end (the pbshell REPL, the pbserve network server, tests and
+// benches) talks to one Engine instance instead of wiring Catalog +
+// QueryEvaluator + solver options by hand. The Engine owns:
+//
+//   - the loaded catalog, guarded by a reader/writer lock so any number of
+//     queries run concurrently while table loads are exclusive;
+//   - the shared worker ThreadPool that executes submitted queries and a
+//     thread-share ledger so concurrent queries split the machine instead
+//     of each assuming it owns every core;
+//   - a result cache keyed on (normalized query text, catalog generation):
+//     repeating a query against an unchanged catalog returns the cached
+//     package bit-identically with zero solver work;
+//   - a warm-start cache keyed on LpModel::StructuralSignature(): distinct
+//     queries that translate to structurally identical ILPs reuse root
+//     bases and pseudocost history (MilpWarmStart) across solves, each
+//     entry serialized by its own mutex so concurrent queries never share
+//     mutable solver state.
+//
+// ExecuteQuery() is safe to call from any number of threads. Budgets are
+// cooperative: QueryBudget carries a wall-clock deadline, node caps, a
+// thread share, and a CancelToken polled inside the branch-and-bound loop,
+// so a cancelled or over-deadline query returns a structured partial
+// status — never a corrupted package.
+
+#ifndef PB_ENGINE_ENGINE_H_
+#define PB_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "core/explain.h"
+#include "core/package.h"
+#include "db/catalog.h"
+#include "solver/milp.h"
+
+namespace pb::engine {
+
+/// Per-query resource envelope. Zero / unset fields fall back to the
+/// engine's defaults; every limit is a ceiling, never an extension.
+struct QueryBudget {
+  /// Wall-clock deadline for the WHOLE query (parse + solve). <= 0 means
+  /// "use the engine default". The solver's own time limit is clamped to
+  /// the time remaining when it starts.
+  double time_limit_s = 0.0;
+  /// Branch-and-bound node cap (0 = engine default).
+  int64_t max_nodes = 0;
+  /// Thread share requested from the engine's pool. The engine grants
+  /// min(requested, threads currently unclaimed), always at least one, so
+  /// concurrent queries degrade to serial solves instead of oversubscribing.
+  ComputeBudget compute;
+  /// Cooperative cancellation. Default-constructed tokens are inert; pass
+  /// CancelToken::Create() (or use Engine::CancelSession) to make a query
+  /// interruptible mid-solve.
+  CancelToken cancel;
+};
+
+struct EngineOptions {
+  /// Worker threads for the shared pool (0 = hardware concurrency).
+  int num_threads = 0;
+  /// Result-cache capacity in entries (LRU beyond this).
+  size_t result_cache_capacity = 64;
+  /// Warm-start cache capacity in entries (LRU beyond this).
+  size_t warm_cache_capacity = 64;
+  /// Bounded admission: SubmitQuery() rejects (returns false) when this
+  /// many queries are already queued or running — the server's overload
+  /// backpressure.
+  size_t max_pending_queries = 32;
+  /// Render the package-template screen into QueryResponse::rendered on
+  /// success (the pbshell view; servers leave it off and ship rows).
+  bool render_packages = false;
+  /// Baseline evaluation options; per-query budgets clamp these.
+  core::EvaluationOptions defaults;
+};
+
+/// Monotonic engine-wide counters (snapshot via Engine::stats()).
+struct EngineStats {
+  int64_t queries = 0;             ///< ExecuteQuery calls
+  int64_t errors = 0;              ///< responses with !status.ok()
+  int64_t cancelled = 0;           ///< responses with cancelled set
+  int64_t result_cache_hits = 0;   ///< answered from the result cache
+  int64_t warm_cache_hits = 0;     ///< solves that reused warm state
+  int64_t warm_cache_misses = 0;   ///< solves that started cold
+  int64_t overload_rejections = 0; ///< SubmitQuery admission failures
+};
+
+/// The structured answer to one ExecuteQuery call.
+struct QueryResponse {
+  Status status;            ///< typed error from the Status taxonomy
+  /// True when the query stopped early on its CancelToken or deadline.
+  /// status may still be OK (an incumbent package was already in hand,
+  /// returned as-is with proven_optimal == false).
+  bool cancelled = false;
+  core::Package package;    ///< the answer (valid when status.ok())
+  bool has_objective = false;  ///< the query has MAXIMIZE/MINIMIZE
+  double objective = 0.0;   ///< objective value (0 without an objective)
+  bool proven_optimal = false;
+  std::string strategy;     ///< "Cache", "IlpSolver", "BruteForce", ...
+  std::string table;        ///< base table the package indexes into
+  std::string rendered;     ///< package-template screen (opt-in)
+  // -- counters -----------------------------------------------------------
+  bool result_cache_hit = false;
+  bool warm_start_hit = false;      ///< solver reused prior warm state
+  uint64_t model_signature = 0;     ///< LpModel::StructuralSignature()
+  int64_t nodes = 0;                ///< branch-and-bound nodes solved
+  int64_t lp_iterations = 0;        ///< simplex iterations
+  size_t num_candidates = 0;        ///< rows surviving the WHERE clause
+  // -- timings ------------------------------------------------------------
+  double parse_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // -- catalog management (exclusive; waits for in-flight queries) --------
+  Status RegisterTable(db::Table table);
+  void RegisterOrReplaceTable(db::Table table);
+  Status DropTable(const std::string& name);
+  /// Loads a CSV file into the catalog; returns the row count.
+  Result<size_t> LoadCsv(const std::string& path, const std::string& name);
+  /// Generates a synthetic dataset (kind: recipes|travel|stocks|lineitem)
+  /// and registers it under the kind's name; returns the row count.
+  Result<size_t> GenerateDataset(const std::string& kind, size_t n,
+                                 uint64_t seed);
+  std::vector<std::string> TableNames() const;
+  struct TableInfo {
+    std::string name;
+    size_t rows = 0;
+    size_t columns = 0;
+  };
+  std::vector<TableInfo> Tables() const;
+  /// Human-readable preview of a table (Table::ToString).
+  Result<std::string> RenderTable(const std::string& name,
+                                  size_t max_rows) const;
+
+  // -- sessions -----------------------------------------------------------
+  /// Opens a session and returns its id (ids are never reused). Sessions
+  /// exist so another connection can cancel a query in flight; passing
+  /// session id 0 to ExecuteQuery runs anonymously.
+  uint64_t OpenSession();
+  Status CloseSession(uint64_t session);
+  /// Requests cancellation of `session`'s in-flight query (no-op when the
+  /// session is idle). The query observes the request at its next
+  /// branch-and-bound node and returns a partial response.
+  Status CancelSession(uint64_t session);
+
+  // -- queries ------------------------------------------------------------
+  /// Parses, plans, and evaluates one PaQL query under the budget.
+  /// Re-entrant: any number of threads may call this concurrently.
+  QueryResponse ExecuteQuery(uint64_t session, const std::string& paql,
+                             const QueryBudget& budget = {});
+
+  /// Asynchronous ExecuteQuery on the shared pool. Returns false — without
+  /// enqueueing — when max_pending_queries are already queued or running;
+  /// otherwise `done` is invoked (on a pool thread) with the response.
+  bool SubmitQuery(uint64_t session, std::string paql, QueryBudget budget,
+                   std::function<void(QueryResponse)> done);
+
+  /// Plans a query without executing it (EXPLAIN).
+  Result<core::QueryPlan> Explain(const std::string& paql) const;
+
+  /// Enumerates up to `k` packages, best first; `diverse` trades objective
+  /// quality for pairwise Jaccard distance.
+  Result<std::vector<core::Package>> Enumerate(const std::string& paql,
+                                               size_t k, bool diverse) const;
+
+  /// Materializes `package` against `table` and writes it as CSV.
+  Status WritePackageCsv(const std::string& table,
+                         const core::Package& package,
+                         const std::string& path) const;
+
+  /// The base table a query reads from (parse + bind only).
+  Result<std::string> BaseTable(const std::string& paql) const;
+
+  /// Objective value of `package` under `paql`'s MAXIMIZE/MINIMIZE clause
+  /// (0 when the query has none).
+  Result<double> EvaluateObjective(const std::string& paql,
+                                   const core::Package& package) const;
+
+  // -- introspection ------------------------------------------------------
+  EngineStats stats() const;
+  int num_threads() const { return num_threads_; }
+  ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  struct Session {
+    std::mutex mu;
+    CancelToken active;  ///< token of the in-flight query (inert when idle)
+  };
+  /// One warm-start cache slot. The entry mutex serializes solves that
+  /// share the signature — MilpWarmStart is not thread-safe.
+  struct WarmEntry {
+    std::mutex mu;
+    solver::MilpWarmStart warm;
+    bool used = false;  ///< a solve has completed against this entry
+  };
+
+  /// The synchronous query pipeline body (catalog read lock held).
+  QueryResponse Run(const std::string& paql, const QueryBudget& budget,
+                    const CancelToken& token);
+  /// ILP route with warm-start cache; `translatable` already verified.
+  void RunIlpPath(const paql::AnalyzedQuery& aq,
+                  const core::EvaluationOptions& eo,
+                  const core::CardinalityBounds& bounds, QueryResponse* resp);
+  /// Fallback route through the QueryEvaluator hybrid.
+  void RunEvaluatorPath(const paql::AnalyzedQuery& aq,
+                        const core::EvaluationOptions& eo,
+                        QueryResponse* resp);
+
+  std::shared_ptr<Session> FindSession(uint64_t id);
+  std::shared_ptr<WarmEntry> GetWarmEntry(uint64_t signature);
+  bool LookupResultCache(const std::string& key, QueryResponse* out);
+  void StoreResultCache(const std::string& key, const QueryResponse& resp);
+
+  /// Claims up to `requested` threads from the unclaimed pool share;
+  /// returns the number actually claimed (possibly 0 — the caller still
+  /// runs with one thread but must release exactly the claimed count).
+  int AcquireThreads(int requested);
+  void ReleaseThreads(int claimed);
+
+  EngineOptions options_;
+  int num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::shared_mutex catalog_mu_;
+  db::Catalog catalog_;           ///< guarded by catalog_mu_
+  uint64_t catalog_generation_ = 0;  ///< bumped on every mutation
+
+  std::mutex sessions_mu_;
+  uint64_t next_session_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+
+  std::mutex result_mu_;
+  std::list<std::pair<std::string, QueryResponse>> result_lru_;
+  std::unordered_map<std::string, decltype(result_lru_)::iterator>
+      result_map_;
+
+  std::mutex warm_mu_;
+  std::list<uint64_t> warm_lru_;
+  struct WarmSlot {
+    std::list<uint64_t>::iterator lru;
+    std::shared_ptr<WarmEntry> entry;
+  };
+  std::unordered_map<uint64_t, WarmSlot> warm_map_;
+
+  std::atomic<int> unclaimed_threads_{1};
+  std::atomic<int64_t> pending_{0};
+
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+};
+
+}  // namespace pb::engine
+
+#endif  // PB_ENGINE_ENGINE_H_

@@ -1,0 +1,222 @@
+#include "server/protocol.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+namespace pb::server {
+
+json::Value OkEnvelope(json::Value result) {
+  json::Value envelope = json::Value::Object();
+  envelope.Set("ok", json::Value::Bool(true));
+  envelope.Set("result", std::move(result));
+  return envelope;
+}
+
+json::Value ErrorEnvelope(StatusCode code, const std::string& message) {
+  json::Value error = json::Value::Object();
+  error.Set("code", json::Value::Str(StatusCodeToString(code)));
+  error.Set("message", json::Value::Str(message));
+  json::Value envelope = json::Value::Object();
+  envelope.Set("ok", json::Value::Bool(false));
+  envelope.Set("error", std::move(error));
+  return envelope;
+}
+
+json::Value ErrorEnvelope(const Status& status) {
+  return ErrorEnvelope(status.code(), status.message());
+}
+
+json::Value QueryResponseToJson(const engine::QueryResponse& resp) {
+  json::Value pkg = json::Value::Object();
+  json::Value rows = json::Value::Array();
+  json::Value mult = json::Value::Array();
+  for (size_t i = 0; i < resp.package.rows.size(); ++i) {
+    rows.Push(json::Value::Int(static_cast<int64_t>(resp.package.rows[i])));
+    mult.Push(json::Value::Int(resp.package.multiplicity[i]));
+  }
+  pkg.Set("rows", std::move(rows));
+  pkg.Set("multiplicity", std::move(mult));
+  pkg.Set("count", json::Value::Int(resp.package.TotalCount()));
+
+  json::Value out = json::Value::Object();
+  out.Set("table", json::Value::Str(resp.table));
+  out.Set("package", std::move(pkg));
+  out.Set("objective", json::Value::Number(resp.objective));
+  out.Set("proven_optimal", json::Value::Bool(resp.proven_optimal));
+  out.Set("strategy", json::Value::Str(resp.strategy));
+  out.Set("cancelled", json::Value::Bool(resp.cancelled));
+
+  json::Value counters = json::Value::Object();
+  counters.Set("result_cache_hit", json::Value::Bool(resp.result_cache_hit));
+  counters.Set("warm_start_hit", json::Value::Bool(resp.warm_start_hit));
+  counters.Set("model_signature",
+               json::Value::Str(std::to_string(resp.model_signature)));
+  counters.Set("nodes", json::Value::Int(resp.nodes));
+  counters.Set("lp_iterations", json::Value::Int(resp.lp_iterations));
+  counters.Set("num_candidates",
+               json::Value::Int(static_cast<int64_t>(resp.num_candidates)));
+  out.Set("counters", std::move(counters));
+
+  json::Value timings = json::Value::Object();
+  timings.Set("parse_seconds", json::Value::Number(resp.parse_seconds));
+  timings.Set("solve_seconds", json::Value::Number(resp.solve_seconds));
+  timings.Set("total_seconds", json::Value::Number(resp.total_seconds));
+  out.Set("timings", std::move(timings));
+  return out;
+}
+
+namespace {
+
+engine::QueryBudget ParseBudget(const json::Value& request) {
+  engine::QueryBudget budget;
+  const json::Value* b = request.Find("budget");
+  if (b == nullptr || !b->is_object()) return budget;
+  budget.time_limit_s = b->GetNumber("time_limit_s", 0.0);
+  budget.max_nodes = b->GetInt("max_nodes", 0);
+  budget.compute.threads =
+      static_cast<int>(b->GetInt("threads", 1));
+  return budget;
+}
+
+json::Value HandleQuery(engine::Engine* engine, const json::Value& request) {
+  const std::string paql = request.GetString("paql");
+  if (paql.empty()) {
+    return ErrorEnvelope(StatusCode::kInvalidArgument,
+                         "query request needs a non-empty 'paql' field");
+  }
+  const uint64_t session =
+      static_cast<uint64_t>(request.GetInt("session", 0));
+  const engine::QueryBudget budget = ParseBudget(request);
+
+  // Bounded admission: SubmitQuery refuses when the engine's pending limit
+  // is reached; otherwise this connection thread waits for its turn on the
+  // shared pool (the admission queue).
+  std::mutex mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  engine::QueryResponse resp;
+  const bool admitted = engine->SubmitQuery(
+      session, paql, budget, [&](engine::QueryResponse r) {
+        std::lock_guard<std::mutex> lock(mu);
+        resp = std::move(r);
+        done = true;
+        done_cv.notify_one();
+      });
+  if (!admitted) {
+    return ErrorEnvelope(StatusCode::kResourceExhausted,
+                         "server overloaded: admission queue is full");
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return done; });
+
+  if (!resp.status.ok()) {
+    json::Value envelope = ErrorEnvelope(resp.status);
+    if (resp.cancelled) {
+      // Mark budget/cancel stops so clients can distinguish "no such
+      // package" from "gave up early" without string matching.
+      json::Value error = *envelope.Find("error");
+      error.Set("cancelled", json::Value::Bool(true));
+      envelope.Set("error", std::move(error));
+    }
+    return envelope;
+  }
+  return OkEnvelope(QueryResponseToJson(resp));
+}
+
+json::Value HandleTables(engine::Engine* engine) {
+  json::Value tables = json::Value::Array();
+  for (const std::string& name : engine->TableNames()) {
+    tables.Push(json::Value::Str(name));
+  }
+  json::Value result = json::Value::Object();
+  result.Set("tables", std::move(tables));
+  return OkEnvelope(std::move(result));
+}
+
+json::Value HandleGen(engine::Engine* engine, const json::Value& request) {
+  const std::string kind = request.GetString("kind");
+  const int64_t n = request.GetInt("n", 1000);
+  const int64_t seed = request.GetInt("seed", 42);
+  if (n <= 0) {
+    return ErrorEnvelope(StatusCode::kInvalidArgument,
+                         "'n' must be positive");
+  }
+  auto rows = engine->GenerateDataset(kind, static_cast<size_t>(n),
+                                      static_cast<uint64_t>(seed));
+  if (!rows.ok()) return ErrorEnvelope(rows.status());
+  json::Value result = json::Value::Object();
+  result.Set("table", json::Value::Str(kind));
+  result.Set("rows", json::Value::Int(static_cast<int64_t>(*rows)));
+  return OkEnvelope(std::move(result));
+}
+
+json::Value HandleStats(engine::Engine* engine) {
+  const engine::EngineStats s = engine->stats();
+  json::Value result = json::Value::Object();
+  result.Set("queries", json::Value::Int(s.queries));
+  result.Set("errors", json::Value::Int(s.errors));
+  result.Set("cancelled", json::Value::Int(s.cancelled));
+  result.Set("result_cache_hits", json::Value::Int(s.result_cache_hits));
+  result.Set("warm_cache_hits", json::Value::Int(s.warm_cache_hits));
+  result.Set("warm_cache_misses", json::Value::Int(s.warm_cache_misses));
+  result.Set("overload_rejections",
+             json::Value::Int(s.overload_rejections));
+  result.Set("num_threads", json::Value::Int(engine->num_threads()));
+  return OkEnvelope(std::move(result));
+}
+
+}  // namespace
+
+json::Value HandleRequest(engine::Engine* engine, const json::Value& request,
+                          ConnectionContext* ctx) {
+  if (!request.is_object()) {
+    return ErrorEnvelope(StatusCode::kInvalidArgument,
+                         "request must be a JSON object");
+  }
+  const std::string op = request.GetString("op");
+  if (op == "hello") {
+    const uint64_t session = engine->OpenSession();
+    if (ctx != nullptr) ctx->sessions.push_back(session);
+    json::Value result = json::Value::Object();
+    result.Set("server", json::Value::Str("pbserve"));
+    result.Set("session", json::Value::Int(static_cast<int64_t>(session)));
+    return OkEnvelope(std::move(result));
+  }
+  if (op == "query") return HandleQuery(engine, request);
+  if (op == "cancel") {
+    const uint64_t session =
+        static_cast<uint64_t>(request.GetInt("session", 0));
+    Status s = engine->CancelSession(session);
+    if (!s.ok()) return ErrorEnvelope(s);
+    json::Value result = json::Value::Object();
+    result.Set("cancelled", json::Value::Bool(true));
+    return OkEnvelope(std::move(result));
+  }
+  if (op == "close") {
+    const uint64_t session =
+        static_cast<uint64_t>(request.GetInt("session", 0));
+    Status s = engine->CloseSession(session);
+    if (!s.ok()) return ErrorEnvelope(s);
+    if (ctx != nullptr) {
+      std::erase(ctx->sessions, session);
+    }
+    return OkEnvelope(json::Value::Object());
+  }
+  if (op == "tables") return HandleTables(engine);
+  if (op == "gen") return HandleGen(engine, request);
+  if (op == "stats") return HandleStats(engine);
+  return ErrorEnvelope(StatusCode::kInvalidArgument,
+                       "unknown op '" + op + "'");
+}
+
+std::string HandleRequestLine(engine::Engine* engine, const std::string& line,
+                              ConnectionContext* ctx) {
+  auto request = json::Parse(line);
+  if (!request.ok()) {
+    return ErrorEnvelope(request.status()).Dump();
+  }
+  return HandleRequest(engine, *request, ctx).Dump();
+}
+
+}  // namespace pb::server

@@ -371,13 +371,16 @@ bool TryRound(const LpModel& model, const Bounds& bounds,
 /// step's basis warm-starts the next.
 /// Returns true with an integer-feasible point in *out on success.
 bool TryDive(const LpModel& model, Bounds bounds, const SimplexOptions& lp_opts,
-             double int_tol, const LpBasis* seed, MilpResult* tallies,
-             std::vector<double>* out) {
+             double int_tol, const LpBasis* seed, const CancelToken& cancel,
+             MilpResult* tallies, std::vector<double>* out) {
   constexpr int kMaxDepth = 400;
   const bool warm = seed != nullptr;
   LpBasis chain;
   if (warm) chain = *seed;
   for (int depth = 0; depth < kMaxDepth; ++depth) {
+    // The dive is a chain of up to kMaxDepth LP solves; without this check
+    // a cancel issued mid-dive would only take effect at the next node pop.
+    if (cancel.cancel_requested()) return false;
     auto lp = SolveLp(model, lp_opts, &bounds, warm ? &chain : nullptr);
     if (!lp.ok()) return false;
     tallies->lp_iterations += lp->iterations;
@@ -474,7 +477,10 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
   // heap and every commit stay on this thread; helpers only pre-solve LPs
   // of published frontier nodes. A pure LP (no integer variables) is a
   // single solve — nothing to speculate on.
-  const int num_threads = std::max(options.num_threads, 1);
+  // Deprecated-alias resolution (see ComputeBudget): either knob works,
+  // the larger wins, and both default to 1.
+  const int num_threads =
+      ResolveThreads(options.compute.threads, options.num_threads);
   const bool parallel = num_threads > 1 && model.has_integer_variables();
   SpecPool spec;
   std::unique_ptr<ThreadPool> helper_pool;
@@ -592,6 +598,13 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
   constexpr int kMaxLpLimitBoost = 12;
 
   while (!open.empty()) {
+    if (options.cancel.cancel_requested()) {
+      // Cooperative cancellation: identical to a limit stop (open stays
+      // non-empty, so the status honestly reports unexplored work), plus
+      // the `cancelled` flag for callers that need to tell the two apart.
+      result.cancelled = true;
+      break;
+    }
     if (result.nodes >= options.max_nodes ||
         timer.ElapsedSeconds() > options.time_limit_s) {
       break;  // open is non-empty here, so work_remaining stays true
@@ -746,7 +759,8 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
       if (!have_incumbent && node.branch_var < 0) {
         std::vector<double> dived;
         if (TryDive(model, node.bounds, base_lp, options.int_tol,
-                    warm_enabled ? &lp.basis : nullptr, &result, &dived)) {
+                    warm_enabled ? &lp.basis : nullptr, options.cancel,
+                    &result, &dived)) {
           have_incumbent = true;
           incumbent_obj = model.ObjectiveValue(dived);
           incumbent = std::move(dived);

@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "solver/model.h"
 #include "solver/simplex.h"
@@ -104,6 +105,21 @@ struct MilpOptions {
   bool node_presolve = true;
   /// Optional cross-solve state (borrowed, in/out); see MilpWarmStart.
   MilpWarmStart* warm = nullptr;
+  /// Unified thread budget (see common/budget.h). `compute.threads` is the
+  /// tree-search thread count; the effective value is
+  /// max(compute.threads, num_threads) while the deprecated alias below
+  /// survives. `compute.node_threads` is ignored here (it only matters to
+  /// SketchRefine's two-level split).
+  ComputeBudget compute;
+  /// Cooperative cancellation, polled once per branch-and-bound node (and
+  /// per dive step). The default token is inert. A cancelled solve stops
+  /// exactly like a node/time-limit stop: it returns kFeasible with the
+  /// incumbent found so far or kNoSolution without one — never a
+  /// corrupted result — and MilpResult::cancelled is set so callers can
+  /// tell interruption from budget exhaustion.
+  CancelToken cancel;
+  /// DEPRECATED alias for compute.threads (one release; see ComputeBudget
+  /// in common/budget.h for the resolution rule).
   /// Threads for the branch-and-bound tree search. 1 (the default) is the
   /// serial solver, unchanged. N > 1 spawns N-1 helper threads that
   /// speculatively solve the LP relaxations of nodes near the top of the
@@ -151,6 +167,9 @@ struct MilpResult {
   /// ONE nondeterministic counter in this struct (everything else is
   /// identical for every num_threads). Always 0 for serial solves.
   int64_t speculative_lps = 0;
+  /// True when the solve stopped because MilpOptions::cancel requested it
+  /// (the status is then kFeasible or kNoSolution, as for a limit stop).
+  bool cancelled = false;
   double solve_seconds = 0.0;
 
   bool has_solution() const {

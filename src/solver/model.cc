@@ -8,12 +8,50 @@
 
 namespace pb::solver {
 
+// Copies and moves transfer only the authoritative data; caches rebuild
+// lazily in the destination (see the header comment). `other`'s caches are
+// deliberately not read: another thread may be filling them right now.
+LpModel::LpModel(const LpModel& other)
+    : variables_(other.variables_),
+      constraints_(other.constraints_),
+      sense_(other.sense_) {}
+
+LpModel& LpModel::operator=(const LpModel& other) {
+  if (this == &other) return *this;
+  variables_ = other.variables_;
+  constraints_ = other.constraints_;
+  sense_ = other.sense_;
+  structural_caches_valid_.store(false, std::memory_order_relaxed);
+  csc_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
+LpModel::LpModel(LpModel&& other) noexcept
+    : variables_(std::move(other.variables_)),
+      constraints_(std::move(other.constraints_)),
+      sense_(other.sense_) {
+  other.structural_caches_valid_.store(false, std::memory_order_relaxed);
+  other.csc_valid_.store(false, std::memory_order_relaxed);
+}
+
+LpModel& LpModel::operator=(LpModel&& other) noexcept {
+  if (this == &other) return *this;
+  variables_ = std::move(other.variables_);
+  constraints_ = std::move(other.constraints_);
+  sense_ = other.sense_;
+  structural_caches_valid_.store(false, std::memory_order_relaxed);
+  csc_valid_.store(false, std::memory_order_relaxed);
+  other.structural_caches_valid_.store(false, std::memory_order_relaxed);
+  other.csc_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
 int LpModel::AddVariable(std::string name, double lb, double ub,
                          double objective, bool is_integer) {
   if (name.empty()) name = "x" + std::to_string(variables_.size());
   variables_.push_back({std::move(name), lb, ub, objective, is_integer});
-  structural_caches_valid_ = false;
-  csc_valid_ = false;
+  structural_caches_valid_.store(false, std::memory_order_relaxed);
+  csc_valid_.store(false, std::memory_order_relaxed);
   return static_cast<int>(variables_.size()) - 1;
 }
 
@@ -29,8 +67,8 @@ int LpModel::AddConstraint(std::string name, std::vector<LinearTerm> terms,
     if (coeff != 0.0) clean.push_back({var, coeff});
   }
   constraints_.push_back({std::move(name), std::move(clean), lo, hi});
-  structural_caches_valid_ = false;
-  csc_valid_ = false;
+  structural_caches_valid_.store(false, std::memory_order_relaxed);
+  csc_valid_.store(false, std::memory_order_relaxed);
   return static_cast<int>(constraints_.size()) - 1;
 }
 
@@ -58,26 +96,39 @@ void BuildStructuralCaches(const std::vector<Variable>& variables,
 
 }  // namespace
 
+// Double-checked fill: the relaxed fast path pairs with the release store
+// under cache_mu_, so a reader that sees `true` also sees the filled
+// arrays; readers that lose the race park on the mutex until the fill is
+// published. After publication the data is immutable until a builder call
+// (which requires exclusive access anyway).
 const std::vector<RowActivityBounds>& LpModel::row_activity_bounds() const {
-  if (!structural_caches_valid_) {
-    BuildStructuralCaches(variables_, constraints_, &row_activity_cache_,
-                          &variable_rows_cache_);
-    structural_caches_valid_ = true;
+  if (!structural_caches_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!structural_caches_valid_.load(std::memory_order_relaxed)) {
+      BuildStructuralCaches(variables_, constraints_, &row_activity_cache_,
+                            &variable_rows_cache_);
+      structural_caches_valid_.store(true, std::memory_order_release);
+    }
   }
   return row_activity_cache_;
 }
 
 const std::vector<std::vector<RowTerm>>& LpModel::variable_rows() const {
-  if (!structural_caches_valid_) {
-    BuildStructuralCaches(variables_, constraints_, &row_activity_cache_,
-                          &variable_rows_cache_);
-    structural_caches_valid_ = true;
+  if (!structural_caches_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!structural_caches_valid_.load(std::memory_order_relaxed)) {
+      BuildStructuralCaches(variables_, constraints_, &row_activity_cache_,
+                            &variable_rows_cache_);
+      structural_caches_valid_.store(true, std::memory_order_release);
+    }
   }
   return variable_rows_cache_;
 }
 
 const CscMatrix& LpModel::csc() const {
-  if (!csc_valid_) {
+  if (!csc_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (csc_valid_.load(std::memory_order_relaxed)) return csc_cache_;
     // Two row-major passes: count entries per column, then fill. Scanning
     // rows in order 0..m-1 leaves every column's row indices ascending,
     // which the sparse LU's symbolic phase relies on.
@@ -98,7 +149,7 @@ const CscMatrix& LpModel::csc() const {
         a.value[k] = t.coeff;
       }
     }
-    csc_valid_ = true;
+    csc_valid_.store(true, std::memory_order_release);
   }
   return csc_cache_;
 }

@@ -14,8 +14,10 @@
 #ifndef PB_SOLVER_MODEL_H_
 #define PB_SOLVER_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -87,8 +89,26 @@ enum class ObjectiveSense { kMinimize, kMaximize };
 
 /// A MILP under construction. Indices returned by AddVariable/AddConstraint
 /// are dense and stable.
+///
+/// Thread-safety: the builder calls (AddVariable/AddConstraint/SetSense)
+/// require exclusive access, but every const accessor — including the lazy
+/// caches row_activity_bounds()/variable_rows()/csc() — is safe to call
+/// from any number of threads concurrently once building is done: the
+/// first caller fills the cache under an internal mutex (double-checked
+/// with an acquire/release flag) and later callers read immutable data.
+/// One Engine serving concurrent sessions may therefore share a translated
+/// model freely across solver threads.
 class LpModel {
  public:
+  LpModel() = default;
+  /// Copies/moves transfer the authoritative data (variables, constraints,
+  /// sense) and leave the destination's lazy caches cold: copying a cache
+  /// mid-fill from another thread would race, and a rebuild is cheap.
+  LpModel(const LpModel& other);
+  LpModel& operator=(const LpModel& other);
+  LpModel(LpModel&& other) noexcept;
+  LpModel& operator=(LpModel&& other) noexcept;
+
   /// Adds a variable; returns its index.
   int AddVariable(std::string name, double lb, double ub, double objective,
                   bool is_integer);
@@ -130,21 +150,20 @@ class LpModel {
 
   /// Per-row activity ranges under the model's own variable bounds,
   /// computed lazily on first call and cached until the next
-  /// AddVariable/AddConstraint. Size == num_constraints(). Not thread-safe
-  /// on the first (cache-filling) call; solvers own their models here, so
-  /// warm the cache before sharing a model across threads if that changes.
+  /// AddVariable/AddConstraint. Size == num_constraints(). Safe to call
+  /// concurrently (see the class comment).
   const std::vector<RowActivityBounds>& row_activity_bounds() const;
 
   /// Transposed sparsity: variable_rows()[j] lists every (row, coeff) the
   /// variable appears in. Lazily cached alongside row_activity_bounds();
-  /// the same thread-safety caveat applies.
+  /// safe to call concurrently.
   const std::vector<std::vector<RowTerm>>& variable_rows() const;
 
   /// The constraint matrix in CSC form (structural columns only; the
   /// simplex synthesizes slack columns on the fly). Lazily built on first
-  /// call and cached until the next AddVariable/AddConstraint; the same
-  /// thread-safety caveat as the other lazy caches applies, so SolveMilp
-  /// warms it before spawning speculation helpers.
+  /// call and cached until the next AddVariable/AddConstraint. Safe to
+  /// call concurrently (SolveMilp still warms it before spawning
+  /// speculation helpers so helper threads never pay the fill).
   const CscMatrix& csc() const;
 
   /// Order-sensitive hash of the model's structure: dimensions, sense,
@@ -159,12 +178,15 @@ class LpModel {
   std::vector<Constraint> constraints_;
   ObjectiveSense sense_ = ObjectiveSense::kMinimize;
   // Lazy structural caches (see row_activity_bounds() / variable_rows());
-  // invalidated by the builder calls.
+  // invalidated by the builder calls. Fills are serialized by cache_mu_
+  // and published through the atomic flags (acquire/release), so const
+  // accessors are safe from any thread.
+  mutable std::mutex cache_mu_;
   mutable std::vector<RowActivityBounds> row_activity_cache_;
   mutable std::vector<std::vector<RowTerm>> variable_rows_cache_;
-  mutable bool structural_caches_valid_ = false;
+  mutable std::atomic<bool> structural_caches_valid_{false};
   mutable CscMatrix csc_cache_;
-  mutable bool csc_valid_ = false;
+  mutable std::atomic<bool> csc_valid_{false};
 };
 
 /// The [min, max] contribution of one term coeff * x over x in [lb, ub]
