@@ -52,6 +52,7 @@ struct Shell {
   \all <k> <query>;          enumerate up to k packages (best first)
   \diverse <k> <query>;      enumerate k diverse packages
   \save <path>               write the last result package as CSV
+  \spill <table> [blocksize] move a table's columns to disk-backed blocks
   \stats                     engine counters (cache hits, queries, ...)
   \quit                      exit
 anything else ending in ';' is evaluated as a PaQL query.
@@ -170,6 +171,24 @@ anything else ending in ';' is evaluated as a PaQL query.
                 s.ok() ? ("wrote " + path).c_str() : s.ToString().c_str());
   }
 
+  void Spill(std::istringstream& args) {
+    std::string name;
+    size_t block_size = pb::storage::kDefaultBlockSize;
+    args >> name >> block_size;
+    if (name.empty()) {
+      std::printf("usage: \\spill <table> [blocksize]\n");
+      return;
+    }
+    pb::Status s = engine.SpillTable(name, "", block_size);
+    if (!s.ok()) {
+      std::printf("%s\n", s.ToString().c_str());
+      return;
+    }
+    std::printf("spilled '%s' to zone-mapped segment blocks (%zu values "
+                "per block); queries now read through the block cache\n",
+                name.c_str(), block_size);
+  }
+
   void Stats() {
     const pb::engine::EngineStats s = engine.stats();
     std::printf("  queries %lld (errors %lld, cancelled %lld)\n",
@@ -181,6 +200,14 @@ anything else ending in ';' is evaluated as a PaQL query.
                 static_cast<long long>(s.result_cache_hits),
                 static_cast<long long>(s.warm_cache_hits),
                 static_cast<long long>(s.warm_cache_misses));
+    std::printf("  block cache: %lld hits / %lld misses, %lld evictions\n",
+                static_cast<long long>(s.block_cache_hits),
+                static_cast<long long>(s.block_cache_misses),
+                static_cast<long long>(s.block_cache_evictions));
+    std::printf("  block bytes: %lld cached, %lld pinned (peak %lld)\n",
+                static_cast<long long>(s.block_cache_bytes),
+                static_cast<long long>(s.block_bytes_pinned),
+                static_cast<long long>(s.block_peak_bytes_pinned));
   }
 
   /// Dispatches one complete input (a '\' command line or a ';' query).
@@ -199,6 +226,7 @@ anything else ending in ';' is evaluated as a PaQL query.
       else if (cmd == "load") Load(args);
       else if (cmd == "show") Show(args);
       else if (cmd == "save") Save(args);
+      else if (cmd == "spill") Spill(args);
       else if (cmd == "stats") Stats();
       else if (cmd == "explain" || cmd == "all" || cmd == "diverse") {
         size_t k = 5;

@@ -13,4 +13,13 @@ int EnvInt(const char* name, int fallback) {
   return static_cast<int>(v);
 }
 
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int64_t>(v);
+}
+
 }  // namespace pb

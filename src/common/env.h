@@ -8,11 +8,16 @@
 #ifndef PB_COMMON_ENV_H_
 #define PB_COMMON_ENV_H_
 
+#include <cstdint>
+
 namespace pb {
 
 /// The value of environment variable `name` parsed as a base-10 integer;
 /// `fallback` when the variable is unset, empty, or not a number.
 int EnvInt(const char* name, int fallback);
+
+/// Like EnvInt but 64-bit, for byte budgets (PB_BLOCK_CACHE_BYTES).
+int64_t EnvInt64(const char* name, int64_t fallback);
 
 }  // namespace pb
 

@@ -85,6 +85,108 @@ Result<std::vector<double>> ComputeAggWeights(
   return w;
 }
 
+Result<AggWeightBounds> ComputeAggWeightBounds(
+    const paql::AggCall& agg, const db::Table& table,
+    const std::vector<size_t>& rows) {
+  AggWeightBounds out;
+  if (rows.empty()) return out;  // caller handles n == 0 before bounds
+  if (agg.func == db::AggFunc::kCount && !agg.arg) {
+    out.computed = true;
+    out.min = out.max = 1.0;
+    return out;
+  }
+  if (!agg.arg) {
+    return Status::InvalidArgument("aggregate requires an argument");
+  }
+  if (agg.func != db::AggFunc::kCount && agg.func != db::AggFunc::kSum) {
+    return out;  // no linear weight; the materializing path reports it
+  }
+  db::ExprPtr bound = agg.arg->Clone();
+  PB_RETURN_IF_ERROR(bound->Bind(table.schema()));
+  if (bound->kind != db::ExprKind::kColumnRef || bound->column_index < 0 ||
+      static_cast<size_t>(bound->column_index) >=
+          table.schema().num_columns()) {
+    return out;  // expression argument: fall back to materialized weights
+  }
+  const db::Column& col = table.column_data(bound->column_index);
+
+  if (agg.func == db::AggFunc::kCount) {
+    // COUNT(col) weights are the 0/1 null indicator; the bitmap is always
+    // resident, so bounding it never reads value data (and is not counted
+    // as a zone-map skip).
+    const db::NullBitmap& nulls = col.nulls();
+    bool any_null = false, any_value = false;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i] >= col.size()) {
+        return Status::OutOfRange("row index out of range");
+      }
+      (nulls.any() && nulls.Test(rows[i]) ? any_null : any_value) = true;
+    }
+    out.computed = true;
+    out.min = any_null ? 0.0 : 1.0;
+    out.max = any_value ? 1.0 : 0.0;
+    return out;
+  }
+
+  // SUM(bare numeric column): blocks fully covered by the candidate list
+  // are bounded from their zone maps alone; partially covered blocks fall
+  // back to reading the covered values.
+  if (!col.numeric_storage()) return out;
+  const db::NumericColumnView view = col.NumericView();
+  const storage::ZoneMap* zones = col.ZoneMaps();
+  const size_t bs = col.block_size();
+  const size_t n = col.size();
+  bool seen = false;
+  double mn = 0.0, mx = 0.0;
+  auto add = [&](double v) {
+    if (!seen) {
+      mn = mx = v;
+      seen = true;
+    } else {
+      if (v < mn) mn = v;
+      if (v > mx) mx = v;
+    }
+  };
+  size_t i = 0;
+  while (i < rows.size()) {
+    if (rows[i] >= n) return Status::OutOfRange("row index out of range");
+    const size_t b = rows[i] / bs;
+    const size_t begin = b * bs;
+    const size_t count = std::min(bs, n - begin);
+    // Full coverage: the next `count` candidates are exactly this block's
+    // rows (the common case — filter output is ascending and dense).
+    bool full = i + count <= rows.size() && rows[i] == begin;
+    if (full) {
+      for (size_t k = 1; k < count; ++k) {
+        if (rows[i + k] != begin + k) {
+          full = false;
+          break;
+        }
+      }
+    }
+    if (full) {
+      const storage::ZoneMap& z = zones[b];
+      if (z.has_minmax()) {
+        add(z.min);
+        add(z.max);
+      }
+      if (z.null_count > 0) add(0.0);  // NULL weighs 0, same as the gather
+      ++out.zone_map_skipped_blocks;
+      i += count;
+    } else {
+      const size_t end = begin + count;
+      for (; i < rows.size() && rows[i] < end; ++i) {
+        add(view.IsNull(rows[i]) ? 0.0 : view[rows[i]]);
+      }
+    }
+  }
+  PB_RETURN_IF_ERROR(view.status());
+  out.computed = true;
+  out.min = mn;
+  out.max = mx;
+  return out;
+}
+
 Result<CardinalityBounds> DeriveCardinalityBounds(
     const paql::AnalyzedQuery& aq, const std::vector<size_t>& candidates) {
   CardinalityBounds out;
@@ -95,12 +197,19 @@ Result<CardinalityBounds> DeriveCardinalityBounds(
   out.lo = 0;
   out.hi = max_occurrences;
 
-  // Per-tuple weights of every canonical aggregate, computed once.
+  // Per-tuple weights, materialized lazily: single-aggregate constraints
+  // usually get by on AggWeightBounds (zone maps / null bitmaps) and never
+  // need the vector at all.
   std::vector<std::vector<double>> weights(aq.aggs.size());
-  for (size_t a = 0; a < aq.aggs.size(); ++a) {
-    PB_ASSIGN_OR_RETURN(weights[a],
-                        ComputeAggWeights(aq.aggs[a], *aq.table, candidates));
-  }
+  std::vector<bool> materialized(aq.aggs.size(), false);
+  auto ensure_weights = [&](size_t a) -> Status {
+    if (!materialized[a]) {
+      PB_ASSIGN_OR_RETURN(weights[a],
+                          ComputeAggWeights(aq.aggs[a], *aq.table, candidates));
+      materialized[a] = true;
+    }
+    return Status::OK();
+  };
 
   for (const paql::LinearConstraint& lc : aq.linear_constraints) {
     // Combined per-tuple weight w_i = sum_k coeff_k * weight_k(i).
@@ -108,14 +217,32 @@ Result<CardinalityBounds> DeriveCardinalityBounds(
     if (n == 0) {
       wmin = wmax = 0.0;
     } else if (lc.terms.size() == 1) {
-      // Single-aggregate constraint (the common case): min/max over the
-      // contiguous weight span, scaled by the coefficient.
+      // Single-aggregate constraint (the common case): weight bounds from
+      // zone-map metadata when the aggregate shape allows, else min/max
+      // over the materialized span. Both are bit-identical; the metadata
+      // path skips the value data of fully covered blocks.
       const paql::LinearAggTerm& t = lc.terms[0];
-      const std::vector<double>& w = weights[t.agg_index];
-      auto [mn, mx] = std::minmax_element(w.begin(), w.end());
-      wmin = std::min(t.coeff * *mn, t.coeff * *mx);
-      wmax = std::max(t.coeff * *mn, t.coeff * *mx);
+      PB_ASSIGN_OR_RETURN(
+          AggWeightBounds b,
+          ComputeAggWeightBounds(aq.aggs[t.agg_index], *aq.table, candidates));
+      double mn, mx;
+      if (b.computed) {
+        out.zone_map_skipped_blocks += b.zone_map_skipped_blocks;
+        mn = b.min;
+        mx = b.max;
+      } else {
+        PB_RETURN_IF_ERROR(ensure_weights(t.agg_index));
+        const std::vector<double>& w = weights[t.agg_index];
+        auto [mn_it, mx_it] = std::minmax_element(w.begin(), w.end());
+        mn = *mn_it;
+        mx = *mx_it;
+      }
+      wmin = std::min(t.coeff * mn, t.coeff * mx);
+      wmax = std::max(t.coeff * mn, t.coeff * mx);
     } else {
+      for (const paql::LinearAggTerm& t : lc.terms) {
+        PB_RETURN_IF_ERROR(ensure_weights(t.agg_index));
+      }
       for (int64_t i = 0; i < n; ++i) {
         double w = 0.0;
         for (const paql::LinearAggTerm& t : lc.terms) {

@@ -45,8 +45,34 @@ struct CardinalityBounds {
   /// slots, noted in EXPERIMENTS.md).
   double log2_pruned = 0.0;
 
+  /// Blocks whose weight bounds came from zone-map metadata instead of a
+  /// value scan while deriving these bounds. Independent of where the
+  /// column bytes live (resident columns carry the same zone maps), so the
+  /// count is deterministic for a given table + query and CI-gateable.
+  int64_t zone_map_skipped_blocks = 0;
+
   std::string ToString() const;
 };
+
+/// Min/max of one aggregate's per-tuple weights over the candidate rows,
+/// derived without materializing the weight vector when the aggregate
+/// shape allows it (COUNT(*), COUNT(bare column), SUM(bare numeric
+/// column)). `computed == false` means the shape is not supported and the
+/// caller must fall back to ComputeAggWeights + minmax. The min/max are
+/// bit-identical to minmax over the materialized weights: zone min/max are
+/// accumulated from the same values a scan would visit, extended with 0.0
+/// exactly when the block has NULLs (NULL weighs 0).
+struct AggWeightBounds {
+  bool computed = false;
+  double min = 0.0;
+  double max = 0.0;
+  /// Fully-covered blocks bounded from zone metadata (no value read).
+  int64_t zone_map_skipped_blocks = 0;
+};
+
+Result<AggWeightBounds> ComputeAggWeightBounds(const paql::AggCall& agg,
+                                               const db::Table& table,
+                                               const std::vector<size_t>& rows);
 
 /// Per-tuple weight of one linear aggregate (COUNT(*) -> 1, COUNT(e) -> 0/1
 /// null indicator, SUM(e) -> the value with NULL as 0) for each candidate

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <tuple>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -25,13 +27,84 @@ struct Row {
   std::string name;
 };
 
+/// Zone granularity of the partitioner's spread index. Independent of the
+/// table's storage block size: the index lives over candidate positions
+/// (post-filter, post-normalization), not table rows.
+constexpr size_t kSpreadBlock = 4096;
+
+/// Per-block min/max over every feature column, built once per partition
+/// call. Identity-ordered ranges answer their spread scans from this index
+/// block-at-a-time instead of re-reading the values.
+struct SpreadIndex {
+  size_t n = 0;
+  std::vector<std::vector<double>> mins;  // mins[d][b]
+  std::vector<std::vector<double>> maxs;
+  int64_t skipped_blocks = 0;
+
+  static SpreadIndex Build(const std::vector<std::vector<double>>& cols,
+                           size_t n) {
+    SpreadIndex idx;
+    idx.n = n;
+    const size_t blocks = (n + kSpreadBlock - 1) / kSpreadBlock;
+    idx.mins.resize(cols.size());
+    idx.maxs.resize(cols.size());
+    for (size_t d = 0; d < cols.size(); ++d) {
+      idx.mins[d].resize(blocks);
+      idx.maxs[d].resize(blocks);
+      const double* f = cols[d].data();
+      for (size_t b = 0; b < blocks; ++b) {
+        const size_t lo = b * kSpreadBlock;
+        const size_t hi = std::min(n, lo + kSpreadBlock);
+        double mn = kInf, mx = -kInf;
+        for (size_t i = lo; i < hi; ++i) {
+          mn = std::min(mn, f[i]);
+          mx = std::max(mx, f[i]);
+        }
+        idx.mins[d][b] = mn;
+        idx.maxs[d][b] = mx;
+      }
+    }
+    return idx;
+  }
+
+  /// Spread bounds of dimension d over the contiguous candidate range
+  /// [begin, end): zone entries for fully covered blocks, value scans for
+  /// the ragged edges.
+  std::pair<double, double> MinMax(size_t d, const double* f, size_t begin,
+                                   size_t end) {
+    double mn = kInf, mx = -kInf;
+    size_t i = begin;
+    while (i < end) {
+      const size_t b = i / kSpreadBlock;
+      const size_t block_lo = b * kSpreadBlock;
+      const size_t block_hi = std::min(n, block_lo + kSpreadBlock);
+      if (i == block_lo && block_hi <= end) {
+        mn = std::min(mn, mins[d][b]);
+        mx = std::max(mx, maxs[d][b]);
+        ++skipped_blocks;
+        i = block_hi;
+      } else {
+        const size_t stop = std::min(end, block_hi);
+        for (; i < stop; ++i) {
+          mn = std::min(mn, f[i]);
+          mx = std::max(mx, f[i]);
+        }
+      }
+    }
+    return {mn, mx};
+  }
+};
+
 /// Recursive median split over one index range [begin, end) of `order`.
 /// `feature_cols` is column-major: feature_cols[d][i] is dimension d of
 /// candidate i, so each spread scan and the split comparator walk one
-/// contiguous span.
+/// contiguous span. `aligned` records that order[i] == i throughout the
+/// range (true at the top level and preserved by positional splits, lost
+/// after an nth_element); aligned ranges take their spread bounds from the
+/// zone index.
 void SplitRange(const std::vector<std::vector<double>>& feature_cols,
                 std::vector<size_t>& order, size_t begin, size_t end,
-                size_t partition_size,
+                size_t partition_size, bool aligned, SpreadIndex* index,
                 std::vector<std::vector<size_t>>* groups) {
   size_t count = end - begin;
   if (count <= partition_size) {
@@ -45,10 +118,14 @@ void SplitRange(const std::vector<std::vector<double>>& feature_cols,
   for (size_t d = 0; d < dims; ++d) {
     const double* f = feature_cols[d].data();
     double mn = kInf, mx = -kInf;
-    for (size_t i = begin; i < end; ++i) {
-      double v = f[order[i]];
-      mn = std::min(mn, v);
-      mx = std::max(mx, v);
+    if (aligned) {
+      std::tie(mn, mx) = index->MinMax(d, f, begin, end);
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        double v = f[order[i]];
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
     }
     if (mx - mn > best_spread) {
       best_spread = mx - mn;
@@ -57,30 +134,39 @@ void SplitRange(const std::vector<std::vector<double>>& feature_cols,
   }
   size_t mid = begin + count / 2;
   if (best_spread <= 0.0 || dims == 0) {
-    // All-identical features: split positionally.
-    SplitRange(feature_cols, order, begin, mid, partition_size, groups);
-    SplitRange(feature_cols, order, mid, end, partition_size, groups);
+    // All-identical features: split positionally (alignment survives).
+    SplitRange(feature_cols, order, begin, mid, partition_size, aligned,
+               index, groups);
+    SplitRange(feature_cols, order, mid, end, partition_size, aligned, index,
+               groups);
     return;
   }
   const double* f = feature_cols[best_dim].data();
   std::nth_element(order.begin() + begin, order.begin() + mid,
                    order.begin() + end,
                    [f](size_t a, size_t b) { return f[a] < f[b]; });
-  SplitRange(feature_cols, order, begin, mid, partition_size, groups);
-  SplitRange(feature_cols, order, mid, end, partition_size, groups);
+  SplitRange(feature_cols, order, begin, mid, partition_size, /*aligned=*/false,
+             index, groups);
+  SplitRange(feature_cols, order, mid, end, partition_size, /*aligned=*/false,
+             index, groups);
 }
 
 }  // namespace
 
 std::vector<std::vector<size_t>> PartitionCandidatesColumnar(
     const std::vector<std::vector<double>>& feature_cols, size_t n,
-    size_t partition_size) {
+    size_t partition_size, int64_t* zone_map_skipped_blocks) {
   std::vector<std::vector<size_t>> groups;
   if (n == 0) return groups;
   partition_size = std::max<size_t>(partition_size, 1);
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  SplitRange(feature_cols, order, 0, order.size(), partition_size, &groups);
+  SpreadIndex index = SpreadIndex::Build(feature_cols, n);
+  SplitRange(feature_cols, order, 0, order.size(), partition_size,
+             /*aligned=*/true, &index, &groups);
+  if (zone_map_skipped_blocks != nullptr) {
+    *zone_map_skipped_blocks += index.skipped_blocks;
+  }
   return groups;
 }
 
@@ -208,8 +294,8 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       std::fill(col.begin(), col.end(), 0.0);
     }
   }
-  std::vector<std::vector<size_t>> groups =
-      PartitionCandidatesColumnar(feature_cols, n, options.partition_size);
+  std::vector<std::vector<size_t>> groups = PartitionCandidatesColumnar(
+      feature_cols, n, options.partition_size, &out.zone_map_skipped_blocks);
   out.num_partitions = groups.size();
 
   // Representative: the member closest to the group's feature centroid.

@@ -122,6 +122,10 @@ struct SketchRefineResult {
   double partition_seconds = 0.0;
   double sketch_seconds = 0.0;
   double refine_seconds = 0.0;
+  /// Feature blocks whose spread bounds came from the partitioner's zone
+  /// index instead of a value scan (identity-ordered ranges only; see
+  /// PartitionCandidatesColumnar). Deterministic for a given query + table.
+  int64_t zone_map_skipped_blocks = 0;
 };
 
 /// Offline partitioning, exposed for reuse across queries on the same
@@ -135,9 +139,18 @@ std::vector<std::vector<size_t>> PartitionCandidates(
 /// Column-major partitioning over `n` candidates: feature_cols[d] is one
 /// contiguous span of dimension d (length n) — e.g. a per-candidate gather
 /// of a table column. This is the form the engine's hot path uses.
+///
+/// The recursive median split scans every dimension of a range to find the
+/// widest spread. For ranges still in identity order (no reordering has
+/// touched them yet — always true for the top-level range and for ranges
+/// produced by positional splits), those scans are answered from a zone
+/// index built once per call: per-block min/max over each feature column,
+/// so fully covered blocks never re-read their values. When
+/// `zone_map_skipped_blocks` is non-null it accumulates one count per
+/// (dimension, block) answered from the index.
 std::vector<std::vector<size_t>> PartitionCandidatesColumnar(
     const std::vector<std::vector<double>>& feature_cols, size_t n,
-    size_t partition_size);
+    size_t partition_size, int64_t* zone_map_skipped_blocks = nullptr);
 
 /// Runs Sketch + Refine for an ILP-translatable query.
 Result<SketchRefineResult> SketchRefine(

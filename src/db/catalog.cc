@@ -28,6 +28,14 @@ Result<const Table*> Catalog::Get(const std::string& name) const {
   return static_cast<const Table*>(it->second.get());
 }
 
+Result<Table*> Catalog::GetMutable(const std::string& name) {
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
 bool Catalog::Has(const std::string& name) const {
   return tables_.count(AsciiToLower(name)) > 0;
 }

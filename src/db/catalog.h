@@ -26,6 +26,10 @@ class Catalog {
   /// Looks up a table by (case-insensitive) name.
   Result<const Table*> Get(const std::string& name) const;
 
+  /// Mutable lookup for in-place maintenance (e.g. Table::SpillToDisk).
+  /// Callers must hold whatever exclusive lock guards this catalog.
+  Result<Table*> GetMutable(const std::string& name);
+
   bool Has(const std::string& name) const;
 
   Status Drop(const std::string& name);

@@ -9,17 +9,33 @@
 // cell. Columns whose declared type is kNull ("untyped / any") fall back to
 // per-cell Value storage, which is what heterogeneous outputs like GroupBy
 // aggregates need.
+//
+// Out-of-core storage: a numeric column can be Spill()ed — its values are
+// sealed into fixed-size zone-mapped blocks (storage/block.h), appended to
+// a SegmentFile, and the RAM vectors freed. A spilled column is read-only;
+// reads fault blocks through the BlockCache. The whole-column null bitmap
+// and ColumnStats always stay resident, so IsNull / COUNT never touch
+// disk. Resident numeric columns expose the same logical block structure
+// (zone maps are built lazily at the same granularity), which keeps
+// zone-map-consuming algorithms — and their skip counters — independent of
+// where the bytes live.
 
 #ifndef PB_DB_COLUMN_H_
 #define PB_DB_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "db/value.h"
+#include "storage/block.h"
+#include "storage/block_cache.h"
+#include "storage/segment_file.h"
 
 namespace pb::db {
 
@@ -69,42 +85,134 @@ class NullBitmap {
   int64_t null_count_ = 0;
 };
 
-/// Read-only view over a numeric column: a contiguous span of values plus
-/// the null mask. Exactly one of doubles()/ints() is non-null; operator[]
-/// coerces to double either way. Slots where IsNull(i) hold an unspecified
-/// placeholder and must be masked by the consumer.
+class Column;
+
+/// Read-only view over a numeric column, resident or spilled.
+///
+/// Two access styles coexist:
+///  - Flat spans: doubles()/ints() return the whole column when it is
+///    resident, nullptr when it is spilled. Existing single-pass consumers
+///    keep their tight loops and add a block-iterating branch for the
+///    spilled case.
+///  - Blocks: num_blocks()/block_size()/zone(b) describe the logical block
+///    structure of BOTH layouts without any IO; block(b) returns the values
+///    of one block, pinning it through the BlockCache when spilled. The
+///    span returned by block(b) stays valid until the next block() call on
+///    this view (one pin is cached), so iterate blocks in order and finish
+///    with one before asking for the next.
+///
+/// Error handling: IO failures and storage-budget refusals set a sticky
+/// status(); after that, block(b) returns an empty span and operator[]
+/// returns 0.0. Consumers check status() once after their pass. A view is
+/// a per-call-site value object and is not thread-safe; create one view
+/// per thread.
 class NumericColumnView {
  public:
   NumericColumnView() = default;
 
+  // Copies share the column but not the cached pin or the sticky status.
+  NumericColumnView(const NumericColumnView& other) { *this = other; }
+  NumericColumnView& operator=(const NumericColumnView& other) {
+    if (this != &other) {
+      col_ = other.col_;
+      dbl_ = other.dbl_;
+      int_ = other.int_;
+      nulls_ = other.nulls_;
+      size_ = other.size_;
+      zones_ = nullptr;
+      cur_block_ = kNoBlock;
+      cur_handle_ = storage::BlockHandle();
+      status_ = Status::OK();
+    }
+    return *this;
+  }
+  NumericColumnView(NumericColumnView&&) = default;
+  NumericColumnView& operator=(NumericColumnView&&) = default;
+
   size_t size() const { return size_; }
-  bool valid() const { return dbl_ != nullptr || int_ != nullptr; }
+  bool valid() const { return col_ != nullptr; }
   bool has_nulls() const { return nulls_ && nulls_->any(); }
   int64_t null_count() const { return nulls_ ? nulls_->null_count() : 0; }
 
+  /// Null test by global row index; always RAM-resident, never faults.
   bool IsNull(size_t i) const { return nulls_ && nulls_->Test(i); }
 
-  /// Value at i as double; meaningful only where !IsNull(i).
+  /// True when the column's values live in a segment file.
+  bool spilled() const;
+
+  /// Value at i as double; meaningful only where !IsNull(i). O(1) for
+  /// resident columns; for spilled columns, faults i's block through the
+  /// cached pin (sequential access stays one pin per block).
   double operator[](size_t i) const {
     PB_DCHECK(i < size_);
-    return dbl_ ? dbl_[i] : static_cast<double>(int_[i]);
+    if (dbl_ != nullptr) return dbl_[i];
+    if (int_ != nullptr) return static_cast<double>(int_[i]);
+    return SpilledAt(i);
   }
 
-  /// Contiguous spans; nullptr for the storage type the column is not.
+  /// Whole-column contiguous spans; nullptr when the column is spilled or
+  /// is the other storage type.
   const double* doubles() const { return dbl_; }
   const int64_t* ints() const { return int_; }
   const NullBitmap* null_mask() const { return nulls_; }
 
+  // ----- Block structure (no IO) -------------------------------------------
+
+  size_t block_size() const;
+  size_t num_blocks() const {
+    const size_t bs = block_size();
+    return (size_ + bs - 1) / bs;
+  }
+
+  /// Zone map of block b — min/max/sum/null counts over the block's rows —
+  /// served from metadata for spilled columns and from a lazily built (and
+  /// cached) scan for resident ones. Never reads block data.
+  const storage::ZoneMap& zone(size_t b) const;
+
+  // ----- Block data ---------------------------------------------------------
+
+  /// One block's values. `offset` is the global row index of slot 0; test
+  /// nulls with IsNull(offset + k) on the view (the bitmap is global).
+  struct BlockSpan {
+    const double* dbl = nullptr;
+    const int64_t* ints = nullptr;
+    size_t offset = 0;
+    size_t count = 0;
+
+    bool valid() const { return dbl != nullptr || ints != nullptr; }
+    /// Slot k (block-local) as double; meaningful only for non-null slots.
+    double Value(size_t k) const {
+      return dbl != nullptr ? dbl[k] : static_cast<double>(ints[k]);
+    }
+  };
+
+  /// The values of block b, pinning it when spilled. Valid until the next
+  /// block() call on this view. Empty (valid()==false) after an error —
+  /// check status().
+  BlockSpan block(size_t b) const;
+
+  /// Sticky error channel: OK until a pin fails (IO error, checksum
+  /// mismatch, storage budget exhausted). Once set, stays set.
+  const Status& status() const { return status_; }
+
  private:
   friend class Column;
-  NumericColumnView(const double* d, const int64_t* i, const NullBitmap* n,
-                    size_t size)
-      : dbl_(d), int_(i), nulls_(n), size_(size) {}
+  static constexpr size_t kNoBlock = static_cast<size_t>(-1);
 
-  const double* dbl_ = nullptr;
-  const int64_t* int_ = nullptr;
+  explicit NumericColumnView(const Column* col);
+
+  double SpilledAt(size_t i) const;
+
+  const Column* col_ = nullptr;
+  const double* dbl_ = nullptr;   // resident double storage only
+  const int64_t* int_ = nullptr;  // resident int storage only
   const NullBitmap* nulls_ = nullptr;
   size_t size_ = 0;
+
+  mutable const storage::ZoneMap* zones_ = nullptr;  // fetched on first use
+  mutable size_t cur_block_ = kNoBlock;              // cached spilled pin
+  mutable storage::BlockHandle cur_handle_;
+  mutable Status status_;
 };
 
 /// Contiguous typed storage for one column, with incremental statistics.
@@ -112,6 +220,14 @@ class Column {
  public:
   Column() : Column(ValueType::kNull) {}
   explicit Column(ValueType storage) : storage_(storage) {}
+
+  // Copyable (SelectColumns copies columns wholesale). Copies share the
+  // segment file of a spilled column and drop nothing; the lazy zone-map
+  // cache is copied under the source's lock.
+  Column(const Column& other) { *this = other; }
+  Column& operator=(const Column& other);
+  Column(Column&& other) noexcept { *this = std::move(other); }
+  Column& operator=(Column&& other) noexcept;
 
   /// The storage layout: kInt/kDouble/kBool/kString are typed vectors;
   /// kNull is the per-cell Value fallback for untyped columns.
@@ -125,12 +241,16 @@ class Column {
   const NullBitmap& nulls() const { return nulls_; }
   const ColumnStats& stats() const { return stats_; }
 
-  /// Materializes the cell as a Value (copies strings).
+  /// Materializes the cell as a Value (copies strings). For spilled
+  /// columns this faults the cell's block through the cache (uncounted by
+  /// any StorageBudget: per-cell compat access is correctness, the budget
+  /// polices the bulk gather paths).
   Value GetValue(size_t i) const;
 
   // ----- Typed appends (the column-wise hot path) --------------------------
   // Each appends one slot and updates the stats. AppendInt widens into
   // DOUBLE storage; the other typed appends require matching storage.
+  // Appending to a spilled column is a programming error (DCHECK).
 
   void AppendNull();
   void AppendInt(int64_t v);
@@ -151,36 +271,111 @@ class Column {
   // ----- Contiguous data access --------------------------------------------
 
   /// Typed spans; valid only for the matching storage type. NULL slots
-  /// hold zero/empty placeholders.
+  /// hold zero/empty placeholders. Empty after Spill() — check spilled()
+  /// or go through NumericView().
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<uint8_t>& bools() const { return bools_; }
   const std::vector<std::string>& strings() const { return strings_; }
   const std::vector<Value>& values() const { return values_; }
 
-  /// Span + null-mask view; requires numeric_storage().
+  /// Span + null-mask + block view; requires numeric_storage().
   NumericColumnView NumericView() const {
     PB_DCHECK(numeric_storage());
-    return NumericColumnView(
-        storage_ == ValueType::kDouble ? doubles_.data() : nullptr,
-        storage_ == ValueType::kInt ? ints_.data() : nullptr, &nulls_, size());
+    return NumericColumnView(this);
   }
 
   /// Three-way compare of two slots, matching Value::Compare semantics
   /// (NULL sorts before everything).
   int Compare(size_t a, size_t b) const;
 
+  // ----- Out-of-core --------------------------------------------------------
+
+  /// Seals this numeric column's values into zone-mapped blocks of
+  /// `block_size` values, appends them to `file`, and frees the RAM
+  /// vectors. The column becomes read-only (reads fault through `cache`).
+  /// Non-numeric columns are left resident (Status OK, no-op): strings and
+  /// untyped columns are out of scope for v1 (see the storage ADR).
+  Status Spill(std::shared_ptr<storage::SegmentFile> file,
+               storage::BlockCache* cache,
+               size_t block_size = storage::kDefaultBlockSize);
+
+  bool spilled() const { return file_ != nullptr; }
+
+  /// Logical block granularity: the spill block size, or the zone-map
+  /// granularity of a resident column (kDefaultBlockSize unless overridden).
+  size_t block_size() const { return block_size_; }
+  size_t num_blocks() const {
+    return size() == 0 ? 0 : (size() + block_size_ - 1) / block_size_;
+  }
+
+  /// Overrides the zone-map granularity of a RESIDENT column (test/bench
+  /// hook so small datasets exercise multi-block paths and so a resident
+  /// baseline reproduces a spilled run's zone counters). Resets the lazy
+  /// zone cache.
+  void SetBlockSize(size_t block_size);
+
+  /// Zone maps for all blocks (num_blocks() entries), built lazily for
+  /// resident numeric columns and served from spill metadata otherwise.
+  /// Returns nullptr for non-numeric columns. The pointer stays valid
+  /// until the column is appended to or destroyed.
+  const storage::ZoneMap* ZoneMaps() const;
+
+  /// The spill cache (nullptr when resident); stats live here.
+  storage::BlockCache* cache() const { return cache_; }
+
  private:
+  friend class NumericColumnView;
+
+  /// Pins block b of a spilled column. `charge_budget` selects whether the
+  /// calling thread's StorageBudget is charged (bulk view access) or not
+  /// (per-cell compat access).
+  Result<storage::BlockHandle> PinBlock(size_t b, bool charge_budget) const;
+
   ValueType storage_;
   NullBitmap nulls_;
   ColumnStats stats_;
-  // Exactly one of these is populated, per storage_.
+  // Exactly one of these is populated, per storage_ (all empty once
+  // spilled).
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<uint8_t> bools_;
   std::vector<std::string> strings_;
   std::vector<Value> values_;  // untyped fallback
+
+  // Spill state; set once by Spill() and immutable afterwards.
+  std::shared_ptr<storage::SegmentFile> file_;
+  storage::BlockCache* cache_ = nullptr;
+  std::vector<storage::BlockLocator> locators_;
+  size_t block_size_ = storage::kDefaultBlockSize;
+
+  // Zone maps: eager (spill metadata) for spilled columns, built lazily
+  // for resident numeric ones. Guarded by zone_mu_; rebuilt when the
+  // column has grown since the last build.
+  mutable std::mutex zone_mu_;
+  mutable std::vector<storage::ZoneMap> zones_;
+  mutable bool zones_built_ = false;
+  mutable size_t zones_for_size_ = 0;
 };
+
+inline NumericColumnView::NumericColumnView(const Column* col)
+    : col_(col), nulls_(&col->nulls()), size_(col->size()) {
+  if (!col->spilled()) {
+    if (col->storage_type() == ValueType::kDouble) {
+      dbl_ = col->doubles().data();
+    } else {
+      int_ = col->ints().data();
+    }
+  }
+}
+
+inline bool NumericColumnView::spilled() const {
+  return col_ != nullptr && col_->spilled();
+}
+
+inline size_t NumericColumnView::block_size() const {
+  return col_ != nullptr ? col_->block_size() : storage::kDefaultBlockSize;
+}
 
 }  // namespace pb::db
 

@@ -62,66 +62,89 @@ bool ParseDouble(const std::string& s, double* out) {
   return true;
 }
 
+/// Reads the next line, dropping a trailing '\r'; false at end of stream.
+bool NextLine(std::istream& in, std::string* line) {
+  if (!std::getline(in, *line)) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
 }  // namespace
 
 Result<Table> ReadCsv(std::istream& in, const std::string& table_name,
                       const CsvOptions& options) {
-  std::vector<std::vector<std::string>> raw;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() && raw.empty()) continue;  // skip leading blank lines
-    raw.push_back(SplitCsvLine(line, options.separator));
+  // Two streaming passes over the input — infer (names, arity, types),
+  // rewind, append — so ingest memory is one line plus the table itself,
+  // never a parsed copy of the whole file. Non-seekable streams (pipes)
+  // are slurped into a string once so the second pass has a rewind target.
+  std::istringstream buffered;
+  std::istream* src = &in;
+  std::streampos start = in.tellg();
+  if (start == std::streampos(-1)) {
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    buffered.str(slurp.str());
+    src = &buffered;
+    start = 0;
   }
-  if (raw.empty()) {
+
+  // Pass 1: header names, per-row arity, and per-column type evidence
+  // (INT if every non-empty cell parses as an int, DOUBLE if all parse as
+  // numbers, STRING otherwise).
+  std::vector<std::string> names;
+  std::vector<char> all_int, all_num, any_value;
+  size_t ncols = 0;
+  size_t line_no = 0;  // 1-based over recorded lines, header included
+  std::string line;
+  while (NextLine(*src, &line)) {
+    if (line.empty() && line_no == 0) continue;  // skip leading blank lines
+    ++line_no;
+    std::vector<std::string> fields = SplitCsvLine(line, options.separator);
+    if (line_no == 1) {
+      ncols = fields.size();
+      all_int.assign(ncols, 1);
+      all_num.assign(ncols, 1);
+      any_value.assign(ncols, 0);
+      if (options.has_header) {
+        for (const auto& h : fields) {
+          names.emplace_back(StripAsciiWhitespace(h));
+        }
+        continue;
+      }
+      for (size_t i = 0; i < ncols; ++i) {
+        names.push_back("c" + std::to_string(i));
+      }
+    }
+    if (fields.size() != ncols) {
+      return Status::ParseError(
+          "CSV row " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(ncols));
+    }
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = fields[c];
+      if (cell.empty()) continue;
+      any_value[c] = 1;
+      int64_t iv;
+      double dv;
+      if (all_int[c] && !ParseInt(cell, &iv)) all_int[c] = 0;
+      if (all_num[c] && !ParseDouble(cell, &dv)) {
+        all_num[c] = 0;
+        all_int[c] = 0;
+      }
+    }
+  }
+  if (line_no == 0) {
     return Status::ParseError("empty CSV input for table '" + table_name + "'");
   }
 
-  std::vector<std::string> names;
-  size_t data_start = 0;
-  if (options.has_header) {
-    for (const auto& h : raw[0]) {
-      names.emplace_back(StripAsciiWhitespace(h));
-    }
-    data_start = 1;
-  } else {
-    for (size_t i = 0; i < raw[0].size(); ++i) {
-      names.push_back("c" + std::to_string(i));
-    }
-  }
-  size_t ncols = names.size();
-  for (size_t r = data_start; r < raw.size(); ++r) {
-    if (raw[r].size() != ncols) {
-      return Status::ParseError(
-          "CSV row " + std::to_string(r + 1) + " has " +
-          std::to_string(raw[r].size()) + " fields, expected " +
-          std::to_string(ncols));
-    }
-  }
-
-  // Infer a type per column: INT if all non-empty cells parse as ints,
-  // else DOUBLE if all parse as numbers, else STRING.
   std::vector<ValueType> types(ncols, ValueType::kString);
   if (options.infer_types) {
     for (size_t c = 0; c < ncols; ++c) {
-      bool all_int = true, all_num = true, any = false;
-      for (size_t r = data_start; r < raw.size(); ++r) {
-        const std::string& cell = raw[r][c];
-        if (cell.empty()) continue;
-        any = true;
-        int64_t iv;
-        double dv;
-        if (!ParseInt(cell, &iv)) all_int = false;
-        if (!ParseDouble(cell, &dv)) {
-          all_num = false;
-          break;
-        }
-      }
-      if (!any) {
-        types[c] = ValueType::kString;
-      } else if (all_int) {
+      if (!any_value[c]) continue;  // all-NULL column stays STRING
+      if (all_int[c]) {
         types[c] = ValueType::kInt;
-      } else if (all_num) {
+      } else if (all_num[c]) {
         types[c] = ValueType::kDouble;
       }
     }
@@ -132,33 +155,49 @@ Result<Table> ReadCsv(std::istream& in, const std::string& table_name,
     PB_RETURN_IF_ERROR(schema.AddColumn({names[c], types[c]}));
   }
   Table table(table_name, std::move(schema));
-  for (size_t r = data_start; r < raw.size(); ++r) {
-    Tuple row;
-    row.reserve(ncols);
+
+  // Pass 2: append through RowAppender, straight into the column vectors.
+  src->clear();
+  src->seekg(start);
+  if (!*src) {
+    return Status::Internal("cannot rewind CSV stream for the append pass");
+  }
+  bool first = true;
+  while (NextLine(*src, &line)) {
+    if (line.empty() && first) continue;
+    std::vector<std::string> fields = SplitCsvLine(line, options.separator);
+    if (first) {
+      first = false;
+      if (options.has_header) continue;
+    }
+    if (fields.size() != ncols) {
+      return Status::Internal("CSV input changed between ingest passes");
+    }
+    RowAppender row = table.StartRow();
     for (size_t c = 0; c < ncols; ++c) {
-      const std::string& cell = raw[r][c];
+      const std::string& cell = fields[c];
       if (cell.empty()) {
-        row.push_back(Value::Null());
+        row.Null();
         continue;
       }
       switch (types[c]) {
         case ValueType::kInt: {
           int64_t v = 0;
           ParseInt(cell, &v);
-          row.push_back(Value::Int(v));
+          row.Int(v);
           break;
         }
         case ValueType::kDouble: {
           double v = 0;
           ParseDouble(cell, &v);
-          row.push_back(Value::Double(v));
+          row.Double(v);
           break;
         }
         default:
-          row.push_back(Value::String(cell));
+          row.String(cell);
       }
     }
-    PB_RETURN_IF_ERROR(table.Append(std::move(row)));
+    row.Finish();
   }
   return table;
 }

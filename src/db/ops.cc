@@ -169,7 +169,10 @@ Result<Value> AggregateColumnRows(const Table& table, AggFunc func, int column,
                                   const std::vector<size_t>& rows,
                                   const std::vector<int64_t>& multiplicities) {
   const NumericColumnView view = table.column_data(column).NumericView();
-  const bool int_storage = view.ints() != nullptr;
+  // Storage type from the column, not the span: a spilled column's spans
+  // are null but its SUM/MIN/MAX must still come back as INT.
+  const bool int_storage =
+      table.column_data(column).storage_type() == ValueType::kInt;
   int64_t count = 0;
   double sum = 0.0;
   bool has_extreme = false;
@@ -204,6 +207,7 @@ Result<Value> AggregateColumnRows(const Table& table, AggFunc func, int column,
         break;
     }
   }
+  PB_RETURN_IF_ERROR(view.status());  // spilled block faults surface here
   switch (func) {
     case AggFunc::kCount:
       return Value::Int(count);
@@ -420,6 +424,17 @@ Result<std::vector<std::optional<double>>> GatherNumericBound(
     const NumericColumnView view =
         table.column_data(expr.column_index).NumericView();
     const size_t n = view.size();
+    if (view.spilled()) {
+      // Spilled column: values fault in block-at-a-time through the view's
+      // cached pin. Filter row lists are ascending, so each block is
+      // pinned once per gather.
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] >= n) return Status::OutOfRange("row index out of range");
+        if (!view.IsNull(rows[i])) out[i] = view[rows[i]];
+      }
+      PB_RETURN_IF_ERROR(view.status());
+      return out;
+    }
     if (!view.has_nulls()) {
       // Null-free spans: a straight gather over the contiguous data.
       if (const double* d = view.doubles()) {

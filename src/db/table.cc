@@ -102,6 +102,35 @@ Result<Table> Table::SelectColumns(const std::vector<size_t>& indices,
   return out;
 }
 
+// ----- Out-of-core ---------------------------------------------------------
+
+Status Table::SpillToDisk(const std::string& path, size_t block_size,
+                          storage::BlockCache* cache) {
+  if (spilled()) {
+    return Status::InvalidArgument("table '" + name_ + "' is already spilled");
+  }
+  if (cache == nullptr) cache = storage::BlockCache::Default();
+  PB_ASSIGN_OR_RETURN(std::shared_ptr<storage::SegmentFile> file,
+                      storage::SegmentFile::Create(path));
+  for (Column& c : columns_) {
+    PB_RETURN_IF_ERROR(c.Spill(file, cache, block_size));
+  }
+  return Status::OK();
+}
+
+bool Table::spilled() const {
+  for (const Column& c : columns_) {
+    if (c.spilled()) return true;
+  }
+  return false;
+}
+
+void Table::SetBlockSize(size_t block_size) {
+  for (Column& c : columns_) {
+    if (c.numeric_storage() && !c.spilled()) c.SetBlockSize(block_size);
+  }
+}
+
 // ----- RowAppender ---------------------------------------------------------
 
 RowAppender& RowAppender::Null() {

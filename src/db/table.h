@@ -169,6 +169,25 @@ class Table {
   Result<Table> SelectColumns(const std::vector<size_t>& indices,
                               const std::string& result_name) const;
 
+  // ----- Out-of-core --------------------------------------------------------
+
+  /// Spills every numeric column to a single segment file at `path`,
+  /// sealing values into zone-mapped blocks of `block_size` and freeing
+  /// the RAM vectors (see Column::Spill). Non-numeric columns stay
+  /// resident. The table becomes append-frozen; reads fault blocks through
+  /// `cache` (BlockCache::Default() when null). The segment file is
+  /// deleted when the last spilled column copy goes away.
+  Status SpillToDisk(const std::string& path,
+                     size_t block_size = storage::kDefaultBlockSize,
+                     storage::BlockCache* cache = nullptr);
+
+  /// True when any column of this table is spilled.
+  bool spilled() const;
+
+  /// Sets the zone-map granularity of every resident numeric column
+  /// (test/bench hook; see Column::SetBlockSize).
+  void SetBlockSize(size_t block_size);
+
   /// Renders the first `max_rows` rows as an aligned text table.
   std::string ToString(size_t max_rows = 20) const;
 

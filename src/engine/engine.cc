@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <thread>
 
 #include "common/stopwatch.h"
@@ -14,6 +15,7 @@
 #include "db/csv.h"
 #include "db/ops.h"
 #include "paql/analyzer.h"
+#include "storage/storage_budget.h"
 #include "ui/template.h"
 
 namespace pb::engine {
@@ -105,6 +107,27 @@ Result<std::string> Engine::RenderTable(const std::string& name,
   std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   PB_ASSIGN_OR_RETURN(const db::Table* table, catalog_.Get(name));
   return table->ToString(max_rows);
+}
+
+Status Engine::SpillTable(const std::string& name, const std::string& dir,
+                          size_t block_size) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  PB_ASSIGN_OR_RETURN(db::Table * table, catalog_.GetMutable(name));
+  std::error_code ec;
+  std::string base = dir;
+  if (base.empty()) {
+    base = std::filesystem::temp_directory_path(ec).string();
+    if (ec) base = ".";
+  }
+  // Generation in the name keeps re-spills of a reloaded table from
+  // colliding; the file is created O_EXCL-free but unlinked on close.
+  const std::string path = base + "/pb_" + table->name() + "_g" +
+                           std::to_string(catalog_generation_) + ".seg";
+  PB_RETURN_IF_ERROR(table->SpillToDisk(path, block_size));
+  // Results are bit-identical, but bump the generation anyway: cached
+  // responses carry timings/counters that no longer describe the layout.
+  ++catalog_generation_;
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------- sessions
@@ -321,6 +344,14 @@ QueryResponse Engine::Run(const std::string& paql, const QueryBudget& budget,
   eo.brute_force.time_limit_s =
       std::min(eo.brute_force.time_limit_s, deadline.SecondsRemaining());
 
+  // Storage budget: bulk block pins on this thread charge it; 0 means
+  // count-only. Per-cell compatibility reads bypass it by design, so a
+  // tight budget degrades to ResourceExhausted on bulk scans, never to
+  // wrong answers.
+  storage::StorageBudget storage_budget =
+      storage::StorageBudget::Limited(budget.max_pinned_bytes);
+  storage::StorageBudgetScope storage_scope(storage_budget);
+
   Stopwatch solve_timer;
   const bool translatable =
       aq.ilp_translatable && (!aq.has_objective || aq.objective_linear);
@@ -337,17 +368,21 @@ QueryResponse Engine::Run(const std::string& paql, const QueryBudget& budget,
       auto bounds_or = core::DeriveCardinalityBounds(aq, *candidates_or);
       if (!bounds_or.ok()) {
         resp.status = bounds_or.status();
-      } else if (eo.use_pruning && bounds_or->infeasible) {
-        resp.strategy = "Pruning";
-        resp.status = Status::Infeasible(
-            "cardinality pruning proves no package can satisfy the "
-            "constraints");
       } else {
-        RunIlpPath(aq, eo, *bounds_or, &resp);
+        resp.zone_map_skipped_blocks = bounds_or->zone_map_skipped_blocks;
+        if (eo.use_pruning && bounds_or->infeasible) {
+          resp.strategy = "Pruning";
+          resp.status = Status::Infeasible(
+              "cardinality pruning proves no package can satisfy the "
+              "constraints");
+        } else {
+          RunIlpPath(aq, eo, *bounds_or, &resp);
+        }
       }
     }
   }
   resp.solve_seconds = solve_timer.ElapsedSeconds();
+  resp.storage_peak_pinned_bytes = storage_budget.peak_pinned_bytes();
   ReleaseThreads(claimed);
 
   if (resp.status.ok() && options_.render_packages) {
@@ -458,6 +493,7 @@ void Engine::RunEvaluatorPath(const paql::AnalyzedQuery& aq,
   resp->objective = r.objective;
   resp->proven_optimal = r.proven_optimal;
   resp->num_candidates = r.num_candidates;
+  resp->zone_map_skipped_blocks = r.bounds.zone_map_skipped_blocks;
   if (r.milp) {
     resp->nodes = r.milp->nodes;
     resp->lp_iterations = r.milp->lp_iterations;
@@ -516,8 +552,22 @@ Result<double> Engine::EvaluateObjective(const std::string& paql,
 }
 
 EngineStats Engine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  EngineStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  // Block-cache counters are process-wide (the cache is shared by every
+  // engine in the process), snapshotted here so one stats() call tells the
+  // whole storage story.
+  const storage::BlockCacheStats bc = storage::BlockCache::Default()->stats();
+  out.block_cache_hits = static_cast<int64_t>(bc.hits);
+  out.block_cache_misses = static_cast<int64_t>(bc.misses);
+  out.block_cache_evictions = static_cast<int64_t>(bc.evictions);
+  out.block_cache_bytes = bc.bytes_cached;
+  out.block_bytes_pinned = bc.bytes_pinned;
+  out.block_peak_bytes_pinned = bc.peak_bytes_pinned;
+  return out;
 }
 
 }  // namespace pb::engine

@@ -47,6 +47,8 @@
 #include "core/package.h"
 #include "db/catalog.h"
 #include "solver/milp.h"
+#include "storage/block.h"
+#include "storage/block_cache.h"
 
 namespace pb::engine {
 
@@ -67,6 +69,10 @@ struct QueryBudget {
   /// CancelToken::Create() (or use Engine::CancelSession) to make a query
   /// interruptible mid-solve.
   CancelToken cancel;
+  /// Storage budget: bytes of block-cache data the query may hold pinned
+  /// at once (bulk NumericColumnView pins; per-cell compatibility reads
+  /// are never refused). 0 = count-only (track peak, never refuse).
+  int64_t max_pinned_bytes = 0;
 };
 
 struct EngineOptions {
@@ -96,6 +102,13 @@ struct EngineStats {
   int64_t warm_cache_hits = 0;     ///< solves that reused warm state
   int64_t warm_cache_misses = 0;   ///< solves that started cold
   int64_t overload_rejections = 0; ///< SubmitQuery admission failures
+  // -- block cache (process-wide storage::BlockCache::Default() snapshot) --
+  int64_t block_cache_hits = 0;       ///< pins served from memory
+  int64_t block_cache_misses = 0;     ///< pins that read the segment file
+  int64_t block_cache_evictions = 0;  ///< blocks dropped to fit the budget
+  int64_t block_cache_bytes = 0;      ///< bytes resident right now
+  int64_t block_bytes_pinned = 0;     ///< bytes pinned right now
+  int64_t block_peak_bytes_pinned = 0;  ///< high-water mark of pinned bytes
 };
 
 /// The structured answer to one ExecuteQuery call.
@@ -119,6 +132,12 @@ struct QueryResponse {
   int64_t nodes = 0;                ///< branch-and-bound nodes solved
   int64_t lp_iterations = 0;        ///< simplex iterations
   size_t num_candidates = 0;        ///< rows surviving the WHERE clause
+  /// Blocks whose pruning / partitioning bounds came from zone-map
+  /// metadata instead of a value scan (deterministic per query + table).
+  int64_t zone_map_skipped_blocks = 0;
+  /// High-water mark of block-cache bytes this query held pinned (0 for
+  /// queries over fully resident tables).
+  int64_t storage_peak_pinned_bytes = 0;
   // -- timings ------------------------------------------------------------
   double parse_seconds = 0.0;
   double solve_seconds = 0.0;
@@ -155,6 +174,14 @@ class Engine {
   /// Human-readable preview of a table (Table::ToString).
   Result<std::string> RenderTable(const std::string& name,
                                   size_t max_rows) const;
+  /// Spills a registered table's numeric columns to a zone-mapped segment
+  /// file (exclusive; waits for in-flight queries). Queries afterwards read
+  /// blocks through the process block cache instead of resident vectors —
+  /// results are bit-identical, memory is bounded by the cache budget. The
+  /// segment file lives next to `dir` (defaults to the system temp dir) and
+  /// is unlinked when the table is dropped or the engine shuts down.
+  Status SpillTable(const std::string& name, const std::string& dir = "",
+                    size_t block_size = storage::kDefaultBlockSize);
 
   // -- sessions -----------------------------------------------------------
   /// Opens a session and returns its id (ids are never reused). Sessions

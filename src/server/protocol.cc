@@ -56,6 +56,10 @@ json::Value QueryResponseToJson(const engine::QueryResponse& resp) {
   counters.Set("lp_iterations", json::Value::Int(resp.lp_iterations));
   counters.Set("num_candidates",
                json::Value::Int(static_cast<int64_t>(resp.num_candidates)));
+  counters.Set("zone_map_skipped_blocks",
+               json::Value::Int(resp.zone_map_skipped_blocks));
+  counters.Set("storage_peak_pinned_bytes",
+               json::Value::Int(resp.storage_peak_pinned_bytes));
   out.Set("counters", std::move(counters));
 
   json::Value timings = json::Value::Object();
@@ -76,6 +80,7 @@ engine::QueryBudget ParseBudget(const json::Value& request) {
   budget.max_nodes = b->GetInt("max_nodes", 0);
   budget.compute.threads =
       static_cast<int>(b->GetInt("threads", 1));
+  budget.max_pinned_bytes = b->GetInt("max_pinned_bytes", 0);
   return budget;
 }
 
@@ -151,6 +156,26 @@ json::Value HandleGen(engine::Engine* engine, const json::Value& request) {
   return OkEnvelope(std::move(result));
 }
 
+json::Value HandleSpill(engine::Engine* engine, const json::Value& request) {
+  const std::string table = request.GetString("table");
+  if (table.empty()) {
+    return ErrorEnvelope(StatusCode::kInvalidArgument,
+                         "spill request needs a non-empty 'table' field");
+  }
+  const int64_t block_size = request.GetInt(
+      "block_size", static_cast<int64_t>(storage::kDefaultBlockSize));
+  if (block_size <= 0) {
+    return ErrorEnvelope(StatusCode::kInvalidArgument,
+                         "'block_size' must be positive");
+  }
+  Status s = engine->SpillTable(table, "", static_cast<size_t>(block_size));
+  if (!s.ok()) return ErrorEnvelope(s);
+  json::Value result = json::Value::Object();
+  result.Set("table", json::Value::Str(table));
+  result.Set("block_size", json::Value::Int(block_size));
+  return OkEnvelope(std::move(result));
+}
+
 json::Value HandleStats(engine::Engine* engine) {
   const engine::EngineStats s = engine->stats();
   json::Value result = json::Value::Object();
@@ -163,6 +188,15 @@ json::Value HandleStats(engine::Engine* engine) {
   result.Set("overload_rejections",
              json::Value::Int(s.overload_rejections));
   result.Set("num_threads", json::Value::Int(engine->num_threads()));
+  json::Value block_cache = json::Value::Object();
+  block_cache.Set("hits", json::Value::Int(s.block_cache_hits));
+  block_cache.Set("misses", json::Value::Int(s.block_cache_misses));
+  block_cache.Set("evictions", json::Value::Int(s.block_cache_evictions));
+  block_cache.Set("bytes_cached", json::Value::Int(s.block_cache_bytes));
+  block_cache.Set("bytes_pinned", json::Value::Int(s.block_bytes_pinned));
+  block_cache.Set("peak_bytes_pinned",
+                  json::Value::Int(s.block_peak_bytes_pinned));
+  result.Set("block_cache", std::move(block_cache));
   return OkEnvelope(std::move(result));
 }
 
@@ -205,6 +239,7 @@ json::Value HandleRequest(engine::Engine* engine, const json::Value& request,
   }
   if (op == "tables") return HandleTables(engine);
   if (op == "gen") return HandleGen(engine, request);
+  if (op == "spill") return HandleSpill(engine, request);
   if (op == "stats") return HandleStats(engine);
   return ErrorEnvelope(StatusCode::kInvalidArgument,
                        "unknown op '" + op + "'");

@@ -20,6 +20,8 @@
 //   {"op":"tables"}                       -> catalog listing
 //   {"op":"gen","kind":"recipes",
 //    "n":500,"seed":42}                   -> generates a dataset
+//   {"op":"spill","table":"lineitem",
+//    "block_size":65536}                  -> move a table to disk blocks
 //   {"op":"stats"}                        -> engine counters
 //   {"op":"close","session":N}            -> closes a session
 //

@@ -1,0 +1,101 @@
+#include "storage/block_cache.h"
+
+#include "common/env.h"
+
+namespace pb::storage {
+
+void BlockHandle::Release() {
+  if (cache_ != nullptr && block_ != nullptr) {
+    cache_->Unpin(key_);
+    budget_.Discharge(static_cast<int64_t>(block_->bytes()));
+  }
+  cache_ = nullptr;
+  block_.reset();
+}
+
+BlockCache* BlockCache::Default() {
+  static BlockCache* cache = new BlockCache(
+      EnvInt64("PB_BLOCK_CACHE_BYTES", int64_t{256} << 20));
+  return cache;
+}
+
+Result<BlockHandle> BlockCache::Pin(const std::shared_ptr<SegmentFile>& file,
+                                    const BlockLocator& loc) {
+  const Key key{file->id(), loc.offset};
+  StorageBudget budget = StorageBudgetScope::Active();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // Miss: read under the lock (v1 tradeoff, see header comment).
+    ++stats_.misses;
+    PB_ASSIGN_OR_RETURN(NumericBlock block, file->ReadBlock(loc));
+    Entry entry;
+    entry.bytes = static_cast<int64_t>(block.bytes());
+    entry.block = std::make_shared<const NumericBlock>(std::move(block));
+    stats_.bytes_cached += entry.bytes;
+    it = entries_.emplace(key, std::move(entry)).first;
+    EvictToFitLocked();
+  } else {
+    ++stats_.hits;
+    if (it->second.in_lru) {
+      lru_.erase(it->second.lru_it);
+      it->second.in_lru = false;
+    }
+  }
+
+  Entry& entry = it->second;
+  if (!budget.TryCharge(entry.bytes)) {
+    // The pin was refused before it happened; restore LRU standing if this
+    // entry has no other pins so it stays evictable.
+    if (entry.pins == 0 && !entry.in_lru) {
+      lru_.push_front(key);
+      entry.lru_it = lru_.begin();
+      entry.in_lru = true;
+    }
+    return Status::ResourceExhausted(
+        "storage budget exhausted: pinning " + std::to_string(entry.bytes) +
+        " bytes would exceed the per-query limit of " +
+        std::to_string(budget.limit()) + " bytes");
+  }
+  ++entry.pins;
+  stats_.bytes_pinned += entry.bytes;
+  if (stats_.bytes_pinned > stats_.peak_bytes_pinned) {
+    stats_.peak_bytes_pinned = stats_.bytes_pinned;
+  }
+  return BlockHandle(this, key, entry.block, std::move(budget));
+}
+
+void BlockCache::Unpin(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;  // entry force-dropped; nothing to do
+  Entry& entry = it->second;
+  stats_.bytes_pinned -= entry.bytes;
+  if (--entry.pins == 0) {
+    lru_.push_front(key);
+    entry.lru_it = lru_.begin();
+    entry.in_lru = true;
+    EvictToFitLocked();
+  }
+}
+
+void BlockCache::EvictToFitLocked() {
+  if (budget_bytes_ <= 0) return;
+  while (stats_.bytes_cached > budget_bytes_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    if (it == entries_.end()) continue;
+    stats_.bytes_cached -= it->second.bytes;
+    ++stats_.evictions;
+    entries_.erase(it);
+  }
+}
+
+BlockCacheStats BlockCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pb::storage

@@ -1,0 +1,147 @@
+// BlockCache: the shared, byte-budgeted pool of resident spilled blocks.
+//
+// Pin(file, locator) returns a BlockHandle that keeps one block resident
+// and un-evictable until the handle is destroyed. Eviction is LRU over
+// unpinned entries; the cache may exceed its budget transiently when every
+// resident block is pinned (pins are correctness, the budget is policy).
+// Each pin charges the calling thread's active StorageBudget (see
+// storage_budget.h); the handle remembers which budget it charged so
+// destruction on another thread still discharges the right one.
+//
+// v1 keeps the mutex held across segment-file reads. That serializes cold
+// misses, which is acceptable at the engine's current concurrency; the
+// stats struct exists so a future per-shard or lock-free version can prove
+// itself against the same counters.
+
+#ifndef PB_STORAGE_BLOCK_CACHE_H_
+#define PB_STORAGE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+#include "storage/block.h"
+#include "storage/segment_file.h"
+#include "storage/storage_budget.h"
+
+namespace pb::storage {
+
+class BlockCache;
+
+/// A pin on one cached block. Move-only; releasing the handle (destruction
+/// or reset) unpins the block and discharges the storage budget charged at
+/// pin time. The pointed-to block is immutable and outlives the handle via
+/// shared ownership even if the cache evicts it after unpinning.
+class BlockHandle {
+ public:
+  BlockHandle() = default;
+  ~BlockHandle() { Release(); }
+
+  BlockHandle(BlockHandle&& other) noexcept { *this = std::move(other); }
+  BlockHandle& operator=(BlockHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      cache_ = other.cache_;
+      key_ = other.key_;
+      block_ = std::move(other.block_);
+      budget_ = std::move(other.budget_);
+      other.cache_ = nullptr;
+      other.block_.reset();
+    }
+    return *this;
+  }
+
+  BlockHandle(const BlockHandle&) = delete;
+  BlockHandle& operator=(const BlockHandle&) = delete;
+
+  const NumericBlock* get() const { return block_.get(); }
+  const NumericBlock& operator*() const { return *block_; }
+  const NumericBlock* operator->() const { return block_.get(); }
+  explicit operator bool() const { return block_ != nullptr; }
+
+  /// Unpins early (idempotent).
+  void Release();
+
+ private:
+  friend class BlockCache;
+  BlockHandle(BlockCache* cache, std::pair<uint64_t, uint64_t> key,
+              std::shared_ptr<const NumericBlock> block, StorageBudget budget)
+      : cache_(cache),
+        key_(key),
+        block_(std::move(block)),
+        budget_(std::move(budget)) {}
+
+  BlockCache* cache_ = nullptr;
+  std::pair<uint64_t, uint64_t> key_{0, 0};
+  std::shared_ptr<const NumericBlock> block_;
+  StorageBudget budget_;
+};
+
+/// Monotonic cache counters, readable without stopping the world.
+struct BlockCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;       ///< == segment-file block reads
+  uint64_t evictions = 0;
+  int64_t bytes_cached = 0;  ///< current resident payload bytes
+  int64_t bytes_pinned = 0;  ///< current pinned payload bytes
+  int64_t peak_bytes_pinned = 0;
+};
+
+class BlockCache {
+ public:
+  /// `budget_bytes <= 0` disables eviction (cache grows unboundedly —
+  /// the in-RAM-equivalent configuration used by bit-identity tests).
+  explicit BlockCache(int64_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  /// The process-wide cache, sized by PB_BLOCK_CACHE_BYTES (bytes; default
+  /// 256 MiB). Constructed on first use, never destroyed.
+  static BlockCache* Default();
+
+  /// Returns a pinned handle to the block at `loc` of `file`, reading it
+  /// from disk on a miss. Fails with ResourceExhausted when the calling
+  /// thread's StorageBudget refuses the pin, or with the read's error.
+  Result<BlockHandle> Pin(const std::shared_ptr<SegmentFile>& file,
+                          const BlockLocator& loc);
+
+  BlockCacheStats stats() const;
+  int64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  friend class BlockHandle;
+
+  using Key = std::pair<uint64_t, uint64_t>;  // (segment file id, offset)
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Offsets are multiples of the record size; mix the halves.
+      return std::hash<uint64_t>()(k.first * 0x9E3779B97F4A7C15ull ^
+                                   k.second);
+    }
+  };
+
+  struct Entry {
+    std::shared_ptr<const NumericBlock> block;
+    int64_t bytes = 0;
+    int pins = 0;
+    std::list<Key>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  void Unpin(const Key& key);
+  /// Evicts unpinned LRU entries until resident bytes fit the budget.
+  /// Requires mu_ held.
+  void EvictToFitLocked();
+
+  const int64_t budget_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recently used, unpinned entries only
+  BlockCacheStats stats_;
+};
+
+}  // namespace pb::storage
+
+#endif  // PB_STORAGE_BLOCK_CACHE_H_

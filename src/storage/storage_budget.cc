@@ -1,0 +1,18 @@
+#include "storage/storage_budget.h"
+
+namespace pb::storage {
+
+namespace {
+thread_local StorageBudget g_active_budget;
+}  // namespace
+
+StorageBudgetScope::StorageBudgetScope(StorageBudget budget)
+    : previous_(g_active_budget) {
+  g_active_budget = std::move(budget);
+}
+
+StorageBudgetScope::~StorageBudgetScope() { g_active_budget = previous_; }
+
+StorageBudget StorageBudgetScope::Active() { return g_active_budget; }
+
+}  // namespace pb::storage

@@ -40,10 +40,17 @@ import sys
 # Higher-is-worse effort counters: only increases beyond the threshold fail.
 # refactorizations/basis_updates are the factorization layer's work metric
 # (deterministic, like the iteration counts — see LpSolution).
+# block_reads is the storage layer's: segment-file block fetches (cache
+# misses) during a cold solve, deterministic for a fixed table + block
+# size + cache budget under a single-threaded solve.
 WORK_COUNTERS = ("lp_iterations", "lp_dual_iterations", "bnb_nodes",
-                 "refactorizations", "basis_updates")
+                 "refactorizations", "basis_updates", "block_reads")
 # Symmetric determinism canaries: any drift beyond the threshold fails.
-CANARY_COUNTERS = ("presolve_fixed_bounds", "presolve_infeasible_children")
+# zone_map_skipped_blocks is layout-independent (resident columns carry
+# the same zone maps as spilled ones), so any drift means the pruner's
+# zone path changed, not that the data moved.
+CANARY_COUNTERS = ("presolve_fixed_bounds", "presolve_infeasible_children",
+                   "zone_map_skipped_blocks")
 OBJECTIVE_REL_TOL = 1e-6
 
 
