@@ -37,7 +37,10 @@ void BM_SessionRound(benchmark::State& state) {
       return;
     }
     // Lock the first tuple of the sample (a typical interaction).
-    (void)session.Lock(session.sample().rows[0]);
+    if (!session.Lock(session.sample().rows[0]).ok()) {
+      state.SkipWithError("lock failed");
+      return;
+    }
     state.ResumeTiming();
     pb::Status s = session.Resample();
     if (s.ok()) ++rounds_done;

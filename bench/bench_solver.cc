@@ -500,7 +500,11 @@ void BM_EngineQueryCache(benchmark::State& state) {
       state.SkipWithError("dataset generation failed");
       return;
     }
-    (void)engine.ExecuteQuery(0, kQuery);  // prime the result cache
+    auto prime = engine.ExecuteQuery(0, kQuery);  // prime the result cache
+    if (!prime.ok()) {
+      state.SkipWithError("cache-priming solve failed");
+      return;
+    }
     for (auto _ : state) {
       auto r = engine.ExecuteQuery(0, kQuery);
       if (!r.ok() || !r.result_cache_hit) {

@@ -252,7 +252,12 @@ anything else ending in ';' is evaluated as a PaQL query.
 
 int main() {
   Shell shell;
-  (void)shell.engine.GenerateDataset("recipes", 500, 42);
+  auto preload = shell.engine.GenerateDataset("recipes", 500, 42);
+  if (!preload.ok()) {
+    std::fprintf(stderr, "failed to preload 'recipes': %s\n",
+                 preload.status().ToString().c_str());
+    return 1;
+  }
   std::printf("PackageBuilder shell -- 'recipes' (500 rows) is preloaded; "
               "\\help for commands\n");
   std::string buffer;

@@ -35,7 +35,11 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value with a message. Cheap to copy on success.
-class Status {
+///
+/// [[nodiscard]] on the class makes every discarded Status-returning call a
+/// compiler warning (an error under the library's -Werror): error handling
+/// is opt-out with a visible rationale, never silently forgotten.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -91,7 +95,7 @@ class Status {
 
 /// Either a value of type T or an error Status. Never holds both.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)

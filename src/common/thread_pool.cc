@@ -15,39 +15,39 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.Wait(&mu_);
 }
 
 bool ThreadPool::TryRunOne() {
   std::function<void()> task;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();
   }
   task();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (--in_flight_ == 0) all_done_.notify_all();
+    MutexLock lock(&mu_);
+    if (--in_flight_ == 0) all_done_.NotifyAll();
   }
   return true;
 }
@@ -56,23 +56,23 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) task_ready_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(&mu_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
 
 void TaskGroup::Spawn(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)] {
@@ -81,24 +81,24 @@ void TaskGroup::Spawn(std::function<void()> task) {
     // observes pending_ == 0, which it cannot do before we release mu_ —
     // so the notify (and every other member access) happens-before the
     // destructor. Notifying after unlocking would race destruction.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --pending_;
-    done_.notify_all();
+    done_.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (pending_ == 0) return;
     }
     // Steal queued work (any group's) instead of idling; once the queue is
     // momentarily dry, sleep until our own tally reaches zero. Tasks still
     // executing on pool workers wake us through the completion wrapper.
     if (pool_->TryRunOne()) continue;
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(&mu_);
+    while (pending_ != 0) done_.Wait(&mu_);
     return;
   }
 }

@@ -17,13 +17,13 @@
 #ifndef PB_COMMON_THREAD_POOL_H_
 #define PB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace pb {
 
@@ -54,13 +54,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;  // queued + currently executing
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // written by the constructor only
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> queue_ PB_GUARDED_BY(mu_);
+  size_t in_flight_ PB_GUARDED_BY(mu_) = 0;  // queued + currently executing
+  bool stop_ PB_GUARDED_BY(mu_) = false;
 };
 
 /// Handle over a subset of a pool's tasks: Spawn() submits through the
@@ -86,9 +86,9 @@ class TaskGroup {
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable done_;
-  size_t pending_ = 0;
+  Mutex mu_;
+  CondVar done_;
+  size_t pending_ PB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pb

@@ -33,7 +33,7 @@ Column& Column::operator=(const Column& other) {
   locators_ = other.locators_;
   block_size_ = other.block_size_;
   {
-    std::scoped_lock lock(other.zone_mu_);
+    MutexLock lock(&other.zone_mu_);
     zones_ = other.zones_;
     zones_built_ = other.zones_built_;
     zones_for_size_ = other.zones_for_size_;
@@ -56,7 +56,7 @@ Column& Column::operator=(Column&& other) noexcept {
   locators_ = std::move(other.locators_);
   block_size_ = other.block_size_;
   {
-    std::scoped_lock lock(other.zone_mu_);
+    MutexLock lock(&other.zone_mu_);
     zones_ = std::move(other.zones_);
     zones_built_ = other.zones_built_;
     zones_for_size_ = other.zones_for_size_;
@@ -313,7 +313,7 @@ Status Column::Spill(std::shared_ptr<storage::SegmentFile> file,
   locators_ = std::move(locators);
   block_size_ = block_size;
   {
-    std::scoped_lock lock(zone_mu_);
+    MutexLock lock(&zone_mu_);
     zones_ = std::move(zones);
     zones_built_ = true;
     zones_for_size_ = n;
@@ -325,7 +325,7 @@ void Column::SetBlockSize(size_t block_size) {
   PB_DCHECK(!spilled()) << "block size of a spilled column is fixed at spill";
   PB_DCHECK(block_size > 0);
   block_size_ = block_size;
-  std::scoped_lock lock(zone_mu_);
+  MutexLock lock(&zone_mu_);
   zones_.clear();
   zones_built_ = false;
   zones_for_size_ = 0;
@@ -333,7 +333,7 @@ void Column::SetBlockSize(size_t block_size) {
 
 const storage::ZoneMap* Column::ZoneMaps() const {
   if (!numeric_storage()) return nullptr;
-  std::scoped_lock lock(zone_mu_);
+  MutexLock lock(&zone_mu_);
   if (!zones_built_ || zones_for_size_ != size()) {
     PB_DCHECK(!spilled());  // spill metadata never goes stale (read-only)
     const size_t n = size();

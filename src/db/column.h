@@ -25,11 +25,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/logging.h"
 #include "common/status.h"
 #include "db/value.h"
@@ -350,12 +350,12 @@ class Column {
   size_t block_size_ = storage::kDefaultBlockSize;
 
   // Zone maps: eager (spill metadata) for spilled columns, built lazily
-  // for resident numeric ones. Guarded by zone_mu_; rebuilt when the
-  // column has grown since the last build.
-  mutable std::mutex zone_mu_;
-  mutable std::vector<storage::ZoneMap> zones_;
-  mutable bool zones_built_ = false;
-  mutable size_t zones_for_size_ = 0;
+  // for resident numeric ones; rebuilt when the column has grown since the
+  // last build.
+  mutable Mutex zone_mu_;
+  mutable std::vector<storage::ZoneMap> zones_ PB_GUARDED_BY(zone_mu_);
+  mutable bool zones_built_ PB_GUARDED_BY(zone_mu_) = false;
+  mutable size_t zones_for_size_ PB_GUARDED_BY(zone_mu_) = 0;
 };
 
 inline NumericColumnView::NumericColumnView(const Column* col)

@@ -36,20 +36,20 @@ Engine::~Engine() {
 // ---------------------------------------------------------------- catalog
 
 Status Engine::RegisterTable(db::Table table) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(&catalog_mu_);
   Status s = catalog_.Register(std::move(table));
   if (s.ok()) ++catalog_generation_;
   return s;
 }
 
 void Engine::RegisterOrReplaceTable(db::Table table) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(&catalog_mu_);
   catalog_.RegisterOrReplace(std::move(table));
   ++catalog_generation_;
 }
 
 Status Engine::DropTable(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(&catalog_mu_);
   Status s = catalog_.Drop(name);
   if (s.ok()) ++catalog_generation_;
   return s;
@@ -86,12 +86,12 @@ Result<size_t> Engine::GenerateDataset(const std::string& kind, size_t n,
 }
 
 std::vector<std::string> Engine::TableNames() const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   return catalog_.TableNames();
 }
 
 std::vector<Engine::TableInfo> Engine::Tables() const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   std::vector<TableInfo> out;
   for (const std::string& name : catalog_.TableNames()) {
     auto table = catalog_.Get(name);
@@ -104,14 +104,14 @@ std::vector<Engine::TableInfo> Engine::Tables() const {
 
 Result<std::string> Engine::RenderTable(const std::string& name,
                                         size_t max_rows) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   PB_ASSIGN_OR_RETURN(const db::Table* table, catalog_.Get(name));
   return table->ToString(max_rows);
 }
 
 Status Engine::SpillTable(const std::string& name, const std::string& dir,
                           size_t block_size) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(&catalog_mu_);
   PB_ASSIGN_OR_RETURN(db::Table * table, catalog_.GetMutable(name));
   std::error_code ec;
   std::string base = dir;
@@ -133,14 +133,14 @@ Status Engine::SpillTable(const std::string& name, const std::string& dir,
 // ---------------------------------------------------------------- sessions
 
 uint64_t Engine::OpenSession() {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   const uint64_t id = next_session_++;
   sessions_.emplace(id, std::make_shared<Session>());
   return id;
 }
 
 Status Engine::CloseSession(uint64_t session) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     return Status::NotFound("unknown session " + std::to_string(session));
@@ -148,7 +148,7 @@ Status Engine::CloseSession(uint64_t session) {
   // An in-flight query keeps its shared_ptr; cancel it on the way out so
   // closing a session never leaves work running on its behalf.
   {
-    std::lock_guard<std::mutex> slock(it->second->mu);
+    MutexLock slock(&it->second->mu);
     if (it->second->active.valid()) it->second->active.RequestCancel();
   }
   sessions_.erase(it);
@@ -160,13 +160,13 @@ Status Engine::CancelSession(uint64_t session) {
   if (!s) {
     return Status::NotFound("unknown session " + std::to_string(session));
   }
-  std::lock_guard<std::mutex> lock(s->mu);
+  MutexLock lock(&s->mu);
   if (s->active.valid()) s->active.RequestCancel();
   return Status::OK();
 }
 
 std::shared_ptr<Engine::Session> Engine::FindSession(uint64_t id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -174,7 +174,7 @@ std::shared_ptr<Engine::Session> Engine::FindSession(uint64_t id) {
 // ------------------------------------------------------------------ caches
 
 bool Engine::LookupResultCache(const std::string& key, QueryResponse* out) {
-  std::lock_guard<std::mutex> lock(result_mu_);
+  MutexLock lock(&result_mu_);
   auto it = result_map_.find(key);
   if (it == result_map_.end()) return false;
   result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
@@ -190,7 +190,7 @@ bool Engine::LookupResultCache(const std::string& key, QueryResponse* out) {
 void Engine::StoreResultCache(const std::string& key,
                               const QueryResponse& resp) {
   if (options_.result_cache_capacity == 0) return;
-  std::lock_guard<std::mutex> lock(result_mu_);
+  MutexLock lock(&result_mu_);
   auto it = result_map_.find(key);
   if (it != result_map_.end()) {
     result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
@@ -206,7 +206,7 @@ void Engine::StoreResultCache(const std::string& key,
 }
 
 std::shared_ptr<Engine::WarmEntry> Engine::GetWarmEntry(uint64_t signature) {
-  std::lock_guard<std::mutex> lock(warm_mu_);
+  MutexLock lock(&warm_mu_);
   auto it = warm_map_.find(signature);
   if (it != warm_map_.end()) {
     warm_lru_.splice(warm_lru_.begin(), warm_lru_, it->second.lru);
@@ -262,24 +262,24 @@ QueryResponse Engine::ExecuteQuery(uint64_t session_id,
       resp.status =
           Status::NotFound("unknown session " + std::to_string(session_id));
       resp.total_seconds = total.ElapsedSeconds();
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++stats_.queries;
       ++stats_.errors;
       return resp;
     }
-    std::lock_guard<std::mutex> lock(session->mu);
+    MutexLock lock(&session->mu);
     session->active = token;
   }
 
   QueryResponse resp = Run(paql, budget, token);
 
   if (session) {
-    std::lock_guard<std::mutex> lock(session->mu);
+    MutexLock lock(&session->mu);
     session->active = CancelToken();
   }
   resp.total_seconds = total.ElapsedSeconds();
 
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   ++stats_.queries;
   if (!resp.status.ok()) ++stats_.errors;
   if (resp.cancelled) ++stats_.cancelled;
@@ -293,7 +293,7 @@ bool Engine::SubmitQuery(uint64_t session, std::string paql,
   const int64_t in_flight = pending_.fetch_add(1, std::memory_order_acq_rel);
   if (in_flight >= static_cast<int64_t>(options_.max_pending_queries)) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++stats_.overload_rejections;
     return false;
   }
@@ -309,7 +309,7 @@ bool Engine::SubmitQuery(uint64_t session, std::string paql,
 QueryResponse Engine::Run(const std::string& paql, const QueryBudget& budget,
                           const CancelToken& token) {
   QueryResponse resp;
-  std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+  ReaderMutexLock catalog_lock(&catalog_mu_);
 
   const std::string key = std::to_string(catalog_generation_) + "\n" +
                           std::string(StripAsciiWhitespace(paql));
@@ -429,7 +429,7 @@ void Engine::RunIlpPath(const paql::AnalyzedQuery& aq,
   {
     // MilpWarmStart is not thread-safe; the entry mutex serializes the
     // solves that share this structural signature.
-    std::lock_guard<std::mutex> lock(entry->mu);
+    MutexLock lock(&entry->mu);
     resp->warm_start_hit =
         entry->used && entry->warm.model_signature == signature;
     milp.warm = &entry->warm;
@@ -442,7 +442,7 @@ void Engine::RunIlpPath(const paql::AnalyzedQuery& aq,
     entry->used = true;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++(resp->warm_start_hit ? stats_.warm_cache_hits
                             : stats_.warm_cache_misses);
   }
@@ -504,14 +504,14 @@ void Engine::RunEvaluatorPath(const paql::AnalyzedQuery& aq,
 // --------------------------------------------------------- facade wrappers
 
 Result<core::QueryPlan> Engine::Explain(const std::string& paql) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   return core::ExplainQuery(paql, catalog_, options_.defaults);
 }
 
 Result<std::vector<core::Package>> Engine::Enumerate(const std::string& paql,
                                                      size_t k,
                                                      bool diverse) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   PB_ASSIGN_OR_RETURN(paql::AnalyzedQuery aq,
                       paql::ParseAndAnalyze(paql, catalog_));
   if (diverse) return core::EnumerateDiverse(aq, k);
@@ -529,7 +529,7 @@ Result<std::vector<core::Package>> Engine::Enumerate(const std::string& paql,
 Status Engine::WritePackageCsv(const std::string& table,
                                const core::Package& package,
                                const std::string& path) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   PB_ASSIGN_OR_RETURN(const db::Table* base, catalog_.Get(table));
   db::Table materialized =
       core::MaterializePackage(*base, package, "package");
@@ -537,7 +537,7 @@ Status Engine::WritePackageCsv(const std::string& table,
 }
 
 Result<std::string> Engine::BaseTable(const std::string& paql) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   PB_ASSIGN_OR_RETURN(paql::AnalyzedQuery aq,
                       paql::ParseAndAnalyze(paql, catalog_));
   return aq.table->name();
@@ -545,7 +545,7 @@ Result<std::string> Engine::BaseTable(const std::string& paql) const {
 
 Result<double> Engine::EvaluateObjective(const std::string& paql,
                                          const core::Package& package) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  ReaderMutexLock lock(&catalog_mu_);
   PB_ASSIGN_OR_RETURN(paql::AnalyzedQuery aq,
                       paql::ParseAndAnalyze(paql, catalog_));
   return core::PackageObjective(aq, package);
@@ -554,7 +554,7 @@ Result<double> Engine::EvaluateObjective(const std::string& paql,
 EngineStats Engine::stats() const {
   EngineStats out;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     out = stats_;
   }
   // Block-cache counters are process-wide (the cache is shared by every

@@ -32,13 +32,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/budget.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -234,28 +233,31 @@ class Engine {
 
  private:
   struct Session {
-    std::mutex mu;
-    CancelToken active;  ///< token of the in-flight query (inert when idle)
+    Mutex mu;
+    /// Token of the in-flight query (inert when idle).
+    CancelToken active PB_GUARDED_BY(mu);
   };
   /// One warm-start cache slot. The entry mutex serializes solves that
   /// share the signature — MilpWarmStart is not thread-safe.
   struct WarmEntry {
-    std::mutex mu;
-    solver::MilpWarmStart warm;
-    bool used = false;  ///< a solve has completed against this entry
+    Mutex mu;
+    solver::MilpWarmStart warm PB_GUARDED_BY(mu);
+    /// A solve has completed against this entry.
+    bool used PB_GUARDED_BY(mu) = false;
   };
 
-  /// The synchronous query pipeline body (catalog read lock held).
+  /// The synchronous query pipeline body (takes the catalog read lock).
   QueryResponse Run(const std::string& paql, const QueryBudget& budget,
-                    const CancelToken& token);
+                    const CancelToken& token) PB_EXCLUDES(catalog_mu_);
   /// ILP route with warm-start cache; `translatable` already verified.
   void RunIlpPath(const paql::AnalyzedQuery& aq,
                   const core::EvaluationOptions& eo,
-                  const core::CardinalityBounds& bounds, QueryResponse* resp);
+                  const core::CardinalityBounds& bounds, QueryResponse* resp)
+      PB_REQUIRES_SHARED(catalog_mu_);
   /// Fallback route through the QueryEvaluator hybrid.
   void RunEvaluatorPath(const paql::AnalyzedQuery& aq,
                         const core::EvaluationOptions& eo,
-                        QueryResponse* resp);
+                        QueryResponse* resp) PB_REQUIRES_SHARED(catalog_mu_);
 
   std::shared_ptr<Session> FindSession(uint64_t id);
   std::shared_ptr<WarmEntry> GetWarmEntry(uint64_t signature);
@@ -272,32 +274,39 @@ class Engine {
   int num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable std::shared_mutex catalog_mu_;
-  db::Catalog catalog_;           ///< guarded by catalog_mu_
-  uint64_t catalog_generation_ = 0;  ///< bumped on every mutation
+  // Lock hierarchy (outermost first): catalog_mu_ → {sessions_mu_,
+  // result_mu_, warm_mu_, WarmEntry::mu, stats_mu_}. The leaf mutexes are
+  // never held together; see docs/adr/0003-concurrency-invariants.md.
+  mutable SharedMutex catalog_mu_;
+  db::Catalog catalog_ PB_GUARDED_BY(catalog_mu_);
+  /// Bumped on every mutation.
+  uint64_t catalog_generation_ PB_GUARDED_BY(catalog_mu_) = 0;
 
-  std::mutex sessions_mu_;
-  uint64_t next_session_ = 1;
-  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  Mutex sessions_mu_;
+  uint64_t next_session_ PB_GUARDED_BY(sessions_mu_) = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_
+      PB_GUARDED_BY(sessions_mu_);
 
-  std::mutex result_mu_;
-  std::list<std::pair<std::string, QueryResponse>> result_lru_;
-  std::unordered_map<std::string, decltype(result_lru_)::iterator>
-      result_map_;
+  Mutex result_mu_;
+  std::list<std::pair<std::string, QueryResponse>> result_lru_
+      PB_GUARDED_BY(result_mu_);
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, QueryResponse>>::iterator>
+      result_map_ PB_GUARDED_BY(result_mu_);
 
-  std::mutex warm_mu_;
-  std::list<uint64_t> warm_lru_;
+  Mutex warm_mu_;
+  std::list<uint64_t> warm_lru_ PB_GUARDED_BY(warm_mu_);
   struct WarmSlot {
     std::list<uint64_t>::iterator lru;
     std::shared_ptr<WarmEntry> entry;
   };
-  std::unordered_map<uint64_t, WarmSlot> warm_map_;
+  std::unordered_map<uint64_t, WarmSlot> warm_map_ PB_GUARDED_BY(warm_mu_);
 
   std::atomic<int> unclaimed_threads_{1};
   std::atomic<int64_t> pending_{0};
 
-  mutable std::mutex stats_mu_;
-  EngineStats stats_;
+  mutable Mutex stats_mu_;
+  EngineStats stats_ PB_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace pb::engine

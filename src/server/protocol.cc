@@ -1,8 +1,8 @@
 #include "server/protocol.h"
 
-#include <condition_variable>
-#include <mutex>
 #include <utility>
+
+#include "common/annotations.h"
 
 namespace pb::server {
 
@@ -97,23 +97,23 @@ json::Value HandleQuery(engine::Engine* engine, const json::Value& request) {
   // Bounded admission: SubmitQuery refuses when the engine's pending limit
   // is reached; otherwise this connection thread waits for its turn on the
   // shared pool (the admission queue).
-  std::mutex mu;
-  std::condition_variable done_cv;
+  Mutex mu;
+  CondVar done_cv;
   bool done = false;
   engine::QueryResponse resp;
   const bool admitted = engine->SubmitQuery(
       session, paql, budget, [&](engine::QueryResponse r) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         resp = std::move(r);
         done = true;
-        done_cv.notify_one();
+        done_cv.NotifyOne();
       });
   if (!admitted) {
     return ErrorEnvelope(StatusCode::kResourceExhausted,
                          "server overloaded: admission queue is full");
   }
-  std::unique_lock<std::mutex> lock(mu);
-  done_cv.wait(lock, [&] { return done; });
+  MutexLock lock(&mu);
+  while (!done) done_cv.Wait(&mu);
 
   if (!resp.status.ok()) {
     json::Value envelope = ErrorEnvelope(resp.status);

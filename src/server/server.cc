@@ -9,6 +9,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/logging.h"
 #include "server/protocol.h"
 
 namespace pb::server {
@@ -90,7 +91,7 @@ void Server::Stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) {
     // A second caller still needs to wait for the first teardown, which
     // holds mu_ while joining.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return;
   }
   if (listen_fd_ >= 0) {
@@ -101,7 +102,7 @@ void Server::Stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_ = -1;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& conn : connections_) {
     if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
   }
@@ -131,7 +132,7 @@ void Server::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener closed by Stop()
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ReapFinishedLocked();
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
@@ -196,7 +197,12 @@ void Server::ServeConnection(Connection* conn) {
   // Disconnect hygiene: a dropped client must not keep queries running or
   // sessions registered.
   for (const uint64_t session : ctx.sessions) {
-    (void)engine_->CloseSession(session);
+    const Status close_status = engine_->CloseSession(session);
+    if (!close_status.ok()) {
+      PB_LOG(Warning) << "session " << session
+                      << " did not close cleanly on disconnect: "
+                      << close_status.ToString();
+    }
   }
   conn->finished.store(true, std::memory_order_release);
 }

@@ -17,11 +17,11 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "engine/engine.h"
 
@@ -69,17 +69,20 @@ class Server {
 
   void AcceptLoop();
   void ServeConnection(Connection* conn);
-  /// Joins connections whose handler has returned (called under mu_).
-  void ReapFinishedLocked();
+  /// Joins connections whose handler has returned.
+  void ReapFinishedLocked() PB_REQUIRES(mu_);
 
   engine::Engine* engine_;
   ServerOptions options_;
+  // listen_fd_ / port_ / accept_thread_ are written by Start() and Stop()
+  // only, serialized through the stopping_ exchange (AcceptLoop reads the
+  // fd that Start() published before spawning it).
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_ PB_GUARDED_BY(mu_);
 };
 
 }  // namespace pb::server

@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -104,14 +103,17 @@ struct SpecPool {
   bool maximize = false;
   double gap_abs = 0.0;
 
-  std::mutex mu;
-  std::condition_variable work_cv;  ///< helpers: frontier refreshed / stop
-  std::condition_variable done_cv;  ///< main thread: a claimed LP finished
+  Mutex mu;
+  CondVar work_cv;  ///< helpers: frontier refreshed / stop
+  CondVar done_cv;  ///< main thread: a claimed LP finished
   /// Speculation candidates, best bound first (refreshed by the main
   /// thread after every commit). Which nodes appear here only affects how
-  /// much helper work is useful — never the result.
-  std::vector<OpenNodePtr> frontier;
-  bool stop = false;
+  /// much helper work is useful — never the result. (The OpenNode
+  /// spec/dead slots the frontier points at are likewise only touched
+  /// under mu while helpers run; they cannot carry PB_GUARDED_BY because
+  /// the serial path owns them lock-free when no helpers exist.)
+  std::vector<OpenNodePtr> frontier PB_GUARDED_BY(mu);
+  bool stop PB_GUARDED_BY(mu) = false;
 
   /// Incumbent objective, published on every improvement so helpers can
   /// skip frontier nodes the serial commit will prune anyway. Relaxed
@@ -126,7 +128,7 @@ struct SpecPool {
 /// still beats the published incumbent, solve its LP, and post the result
 /// into the node's slot.
 void SpeculationLoop(SpecPool* pool) {
-  std::unique_lock<std::mutex> lock(pool->mu);
+  MutexLock lock(&pool->mu);
   for (;;) {
     if (pool->stop) return;
     OpenNodePtr pick;
@@ -143,11 +145,11 @@ void SpeculationLoop(SpecPool* pool) {
       break;
     }
     if (!pick) {
-      pool->work_cv.wait(lock);
+      pool->work_cv.Wait(&pool->mu);
       continue;
     }
     pick->spec = OpenNode::Spec::kClaimed;
-    lock.unlock();
+    lock.Unlock();
 
     SimplexOptions lp_opts = pool->base_lp;
     if (pick->node.lp_limit_boost > 0) {
@@ -161,14 +163,14 @@ void SpeculationLoop(SpecPool* pool) {
         SolveLp(*pool->model, lp_opts, &pick->node.bounds, start);
     pool->speculative_lps.fetch_add(1, std::memory_order_relaxed);
 
-    lock.lock();
+    lock.Lock();
     if (r.ok()) {
       pick->lp = std::move(*r);
     } else {
       pick->lp_status = r.status();
     }
     pick->spec = OpenNode::Spec::kDone;
-    pool->done_cv.notify_all();
+    pool->done_cv.NotifyAll();
   }
 }
 
@@ -501,10 +503,10 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
   auto stop_helpers = [&] {
     if (helper_group == nullptr) return;
     {
-      std::lock_guard<std::mutex> lock(spec.mu);
+      MutexLock lock(&spec.mu);
       spec.stop = true;
     }
-    spec.work_cv.notify_all();
+    spec.work_cv.NotifyAll();
     helper_group->Wait();
     helper_group.reset();
     result.speculative_lps =
@@ -562,10 +564,10 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
       frontier_scratch.resize(frontier_width);
     }
     {
-      std::lock_guard<std::mutex> lock(spec.mu);
+      MutexLock lock(&spec.mu);
       spec.frontier = frontier_scratch;
     }
-    spec.work_cv.notify_all();
+    spec.work_cv.NotifyAll();
   };
 
   {
@@ -618,7 +620,7 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
     // got there first and the result is (or will be) in the slot.
     OpenNode::Spec slot = OpenNode::Spec::kIdle;
     if (parallel) {
-      std::lock_guard<std::mutex> lock(spec.mu);
+      MutexLock lock(&spec.mu);
       cur->dead = true;
       slot = cur->spec;
     }
@@ -638,9 +640,8 @@ Result<MilpResult> SolveMilp(const LpModel& model, const MilpOptions& options) {
       // Committed speculation: identical to solving here (SolveLp is a
       // pure function of inputs the node has owned since push), so every
       // counter below stays bit-identical to the serial solver's.
-      std::unique_lock<std::mutex> lock(spec.mu);
-      spec.done_cv.wait(lock,
-                        [&] { return cur->spec == OpenNode::Spec::kDone; });
+      MutexLock lock(&spec.mu);
+      while (cur->spec != OpenNode::Spec::kDone) spec.done_cv.Wait(&spec.mu);
       PB_RETURN_IF_ERROR(cur->lp_status);
       lp = std::move(cur->lp);
     } else {

@@ -188,13 +188,13 @@ int MostFractionalVariable(const LpModel& model, const std::vector<double>& x,
 /// Solves a MILP. Pure-LP models (no integer variables) degrade to a single
 /// simplex solve. Statuses map: LP infeasible -> kInfeasible, LP unbounded ->
 /// kUnbounded.
-Result<MilpResult> SolveMilp(const LpModel& model,
-                             const MilpOptions& options = {});
+[[nodiscard]] Result<MilpResult> SolveMilp(const LpModel& model,
+                                           const MilpOptions& options = {});
 
 /// Convenience: solve and require a solution, mapping "no solution" statuses
 /// onto error Statuses (kInfeasible / kResourceExhausted / kUnbounded).
-Result<MilpResult> SolveMilpOrFail(const LpModel& model,
-                                   const MilpOptions& options = {});
+[[nodiscard]] Result<MilpResult> SolveMilpOrFail(
+    const LpModel& model, const MilpOptions& options = {});
 
 }  // namespace pb::solver
 

@@ -101,9 +101,16 @@ void BuildStructuralCaches(const std::vector<Variable>& variables,
 // arrays; readers that lose the race park on the mutex until the fill is
 // published. After publication the data is immutable until a builder call
 // (which requires exclusive access anyway).
-const std::vector<RowActivityBounds>& LpModel::row_activity_bounds() const {
+// NO_THREAD_SAFETY_ANALYSIS (here and in the two accessors below): the
+// sanctioned double-checked-locking escape. The unlocked fast-path read of
+// the cache array is safe because the acquire load of the valid flag pairs
+// with the release store performed under cache_mu_ at fill time, and the
+// data is immutable once published (builder calls require exclusive access
+// and reset the flag). See docs/adr/0003-concurrency-invariants.md.
+const std::vector<RowActivityBounds>& LpModel::row_activity_bounds() const
+    PB_NO_THREAD_SAFETY_ANALYSIS {
   if (!structural_caches_valid_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     if (!structural_caches_valid_.load(std::memory_order_relaxed)) {
       BuildStructuralCaches(variables_, constraints_, &row_activity_cache_,
                             &variable_rows_cache_);
@@ -113,9 +120,10 @@ const std::vector<RowActivityBounds>& LpModel::row_activity_bounds() const {
   return row_activity_cache_;
 }
 
-const std::vector<std::vector<RowTerm>>& LpModel::variable_rows() const {
+const std::vector<std::vector<RowTerm>>& LpModel::variable_rows() const
+    PB_NO_THREAD_SAFETY_ANALYSIS {
   if (!structural_caches_valid_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     if (!structural_caches_valid_.load(std::memory_order_relaxed)) {
       BuildStructuralCaches(variables_, constraints_, &row_activity_cache_,
                             &variable_rows_cache_);
@@ -125,9 +133,9 @@ const std::vector<std::vector<RowTerm>>& LpModel::variable_rows() const {
   return variable_rows_cache_;
 }
 
-const CscMatrix& LpModel::csc() const {
+const CscMatrix& LpModel::csc() const PB_NO_THREAD_SAFETY_ANALYSIS {
   if (!csc_valid_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     if (csc_valid_.load(std::memory_order_relaxed)) return csc_cache_;
     // Two row-major passes: count entries per column, then fill. Scanning
     // rows in order 0..m-1 leaves every column's row indices ascending,

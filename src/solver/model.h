@@ -17,10 +17,10 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace pb::solver {
@@ -180,12 +180,17 @@ class LpModel {
   // Lazy structural caches (see row_activity_bounds() / variable_rows());
   // invalidated by the builder calls. Fills are serialized by cache_mu_
   // and published through the atomic flags (acquire/release), so const
-  // accessors are safe from any thread.
-  mutable std::mutex cache_mu_;
-  mutable std::vector<RowActivityBounds> row_activity_cache_;
-  mutable std::vector<std::vector<RowTerm>> variable_rows_cache_;
+  // accessors are safe from any thread. The accessors' post-publication
+  // reads are the one sanctioned double-checked-locking escape from the
+  // thread-safety analysis (PB_NO_THREAD_SAFETY_ANALYSIS in model.cc);
+  // every other touch of these members must hold cache_mu_.
+  mutable Mutex cache_mu_;
+  mutable std::vector<RowActivityBounds> row_activity_cache_
+      PB_GUARDED_BY(cache_mu_);
+  mutable std::vector<std::vector<RowTerm>> variable_rows_cache_
+      PB_GUARDED_BY(cache_mu_);
   mutable std::atomic<bool> structural_caches_valid_{false};
-  mutable CscMatrix csc_cache_;
+  mutable CscMatrix csc_cache_ PB_GUARDED_BY(cache_mu_);
   mutable std::atomic<bool> csc_valid_{false};
 };
 

@@ -137,7 +137,7 @@ int64_t EffectiveIterationLimit(const LpModel& model,
 /// (options.use_dual_simplex) and repaired by the composite phase 1
 /// otherwise, and a singular or ill-sized snapshot silently falls back to
 /// the cold slack basis.
-Result<LpSolution> SolveLp(
+[[nodiscard]] Result<LpSolution> SolveLp(
     const LpModel& model, const SimplexOptions& options = {},
     const std::vector<std::pair<double, double>>* bound_override = nullptr,
     const LpBasis* warm_start = nullptr);

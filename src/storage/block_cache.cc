@@ -24,7 +24,7 @@ Result<BlockHandle> BlockCache::Pin(const std::shared_ptr<SegmentFile>& file,
   const Key key{file->id(), loc.offset};
   StorageBudget budget = StorageBudgetScope::Active();
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     // Miss: read under the lock (v1 tradeoff, see header comment).
@@ -67,7 +67,7 @@ Result<BlockHandle> BlockCache::Pin(const std::shared_ptr<SegmentFile>& file,
 }
 
 void BlockCache::Unpin(const Key& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;  // entry force-dropped; nothing to do
   Entry& entry = it->second;
@@ -94,7 +94,7 @@ void BlockCache::EvictToFitLocked() {
 }
 
 BlockCacheStats BlockCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

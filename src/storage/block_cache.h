@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "storage/block.h"
 #include "storage/segment_file.h"
@@ -132,14 +132,14 @@ class BlockCache {
 
   void Unpin(const Key& key);
   /// Evicts unpinned LRU entries until resident bytes fit the budget.
-  /// Requires mu_ held.
-  void EvictToFitLocked();
+  void EvictToFitLocked() PB_REQUIRES(mu_);
 
   const int64_t budget_bytes_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  std::list<Key> lru_;  // front = most recently used, unpinned entries only
-  BlockCacheStats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_ PB_GUARDED_BY(mu_);
+  /// Front = most recently used, unpinned entries only.
+  std::list<Key> lru_ PB_GUARDED_BY(mu_);
+  BlockCacheStats stats_ PB_GUARDED_BY(mu_);
 };
 
 }  // namespace pb::storage

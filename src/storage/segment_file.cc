@@ -111,7 +111,42 @@ Result<std::shared_ptr<SegmentFile>> SegmentFile::Create(
   PutScalar<uint32_t>(&header, kFormatVersion);
   PutScalar<uint32_t>(&header, 0);  // flags, reserved
   PB_RETURN_IF_ERROR(Pwrite(fd, header.data(), header.size(), 0));
-  file->next_offset_ = header.size();
+  {
+    MutexLock lock(&file->write_mu_);
+    file->next_offset_ = header.size();
+  }
+  return file;
+}
+
+Result<std::shared_ptr<SegmentFile>> SegmentFile::OpenForRead(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open segment file '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  auto file = std::shared_ptr<SegmentFile>(
+      new SegmentFile(path, fd, /*unlink_on_close=*/false));
+  uint8_t header[16];
+  PB_RETURN_IF_ERROR(Pread(fd, header, sizeof(header), 0));
+  if (std::memcmp(header, kFileMagic, sizeof(kFileMagic)) != 0) {
+    return Status::ParseError("'" + path + "' is not a segment file "
+                              "(bad magic)");
+  }
+  const uint32_t version = GetScalar<uint32_t>(header + sizeof(kFileMagic));
+  if (version != kFormatVersion) {
+    return Status::Unimplemented(
+        "segment file '" + path + "' has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kFormatVersion));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    return Status::Internal(std::string("segment lseek failed: ") +
+                            std::strerror(errno));
+  }
+  MutexLock lock(&file->write_mu_);
+  file->next_offset_ = static_cast<uint64_t>(end);
   return file;
 }
 
@@ -151,7 +186,7 @@ Result<BlockLocator> SegmentFile::WriteBlock(const NumericBlock& block) {
   PutScalar<uint64_t>(&buf, Fnv1a(buf.data() + payload_at,
                                   value_bytes + null_bytes));
 
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   BlockLocator loc{next_offset_, buf.size()};
   PB_RETURN_IF_ERROR(Pwrite(fd_, buf.data(), buf.size(), loc.offset));
   next_offset_ += buf.size();
@@ -186,8 +221,17 @@ Result<NumericBlock> SegmentFile::ReadBlock(const BlockLocator& loc) const {
   block.zone.non_null_count = GetScalar<int64_t>(p + 56);
   const uint64_t payload_bytes = GetScalar<uint64_t>(p + 64);
 
-  if (payload_bytes != block.count * 8 + null_word_count * 8 ||
-      kBlockHeaderBytes + payload_bytes + kChecksumBytes != loc.length) {
+  // All three length fields come off disk, so every comparison must be
+  // overflow-proof: derive the expected payload size from loc.length
+  // (already known >= header + checksum) and bound each count before the
+  // multiplications, or a corrupt count near 2^61 wraps `count * 8` into
+  // agreement and the resize below dies instead of returning a Status.
+  const uint64_t expected_payload =
+      loc.length - kBlockHeaderBytes - kChecksumBytes;
+  if (payload_bytes != expected_payload ||
+      block.count > expected_payload / 8 ||
+      null_word_count > expected_payload / 8 ||
+      block.count * 8 + null_word_count * 8 != expected_payload) {
     return Status::Internal("segment block length fields are inconsistent");
   }
   const uint8_t* payload = p + kBlockHeaderBytes;
@@ -207,6 +251,11 @@ Result<NumericBlock> SegmentFile::ReadBlock(const BlockLocator& loc) const {
   std::memcpy(block.null_words.data(), payload + value_bytes,
               null_word_count * 8);
   return block;
+}
+
+uint64_t SegmentFile::bytes_written() const {
+  MutexLock lock(&write_mu_);
+  return next_offset_;
 }
 
 }  // namespace pb::storage

@@ -16,9 +16,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "storage/block.h"
 
@@ -40,6 +40,14 @@ class SegmentFile {
   static Result<std::shared_ptr<SegmentFile>> Create(
       const std::string& path, bool unlink_on_close = true);
 
+  /// Opens an existing segment file read-only, validating the 16-byte file
+  /// header (magic, version). Blocks are then readable through ReadBlock
+  /// with locators from an external index. The opener does not own the
+  /// file: it is never unlinked on close, and WriteBlock fails. This is
+  /// the entry point the corrupt-input fuzzer drives (fuzz/fuzz_segment.cc).
+  static Result<std::shared_ptr<SegmentFile>> OpenForRead(
+      const std::string& path);
+
   ~SegmentFile();
 
   SegmentFile(const SegmentFile&) = delete;
@@ -55,7 +63,7 @@ class SegmentFile {
   const std::string& path() const { return path_; }
   /// Process-unique id, used in block-cache keys.
   uint64_t id() const { return id_; }
-  uint64_t bytes_written() const { return next_offset_; }
+  uint64_t bytes_written() const;
 
  private:
   SegmentFile(std::string path, int fd, bool unlink_on_close);
@@ -64,8 +72,8 @@ class SegmentFile {
   int fd_ = -1;
   bool unlink_on_close_ = true;
   uint64_t id_ = 0;
-  std::mutex write_mu_;
-  uint64_t next_offset_ = 0;  // guarded by write_mu_ for writers
+  mutable Mutex write_mu_;
+  uint64_t next_offset_ PB_GUARDED_BY(write_mu_) = 0;
 };
 
 }  // namespace pb::storage

@@ -1,0 +1,20 @@
+// Control for the negative-compile test: identical shape to violation.cc
+// but correctly locked, so it must compile CLEAN under -Wthread-safety
+// -Werror. If this file fails, the failure of violation.cc proves nothing
+// (the toolchain or the wrapper header is broken, not the seeded bug).
+
+#include "common/annotations.h"
+
+namespace {
+
+struct Counter {
+  pb::Mutex mu;
+  int value PB_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int BumpWithLock(Counter& c) {
+  pb::MutexLock lock(&c.mu);
+  return ++c.value;
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Negative-compile test for the Clang thread-safety annotations.
+
+Proves the -Wthread-safety gate actually bites:
+  1. ok.cc (correctly locked)   must compile CLEAN  under -Werror.
+  2. violation.cc (lock omitted) must FAIL, with a thread-safety
+     diagnostic in the output.
+
+Only Clang implements the analysis, so without a clang++ on PATH the test
+exits 77 (CTest SKIP_RETURN_CODE) — it runs for real in the clang CI lane
+and skips on GCC-only developer machines.
+
+Usage: run_negative_compile.py <src_include_dir>
+"""
+
+import shutil
+import subprocess
+import sys
+import pathlib
+
+SKIP = 77
+
+FLAGS = [
+    "-std=c++20",
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror",
+]
+
+
+def compile_file(clang: str, include_dir: str, source: pathlib.Path):
+    return subprocess.run(
+        [clang, *FLAGS, "-I", include_dir, str(source)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <src_include_dir>")
+        return 2
+    include_dir = sys.argv[1]
+    here = pathlib.Path(__file__).resolve().parent
+
+    clang = None
+    for candidate in ("clang++-18", "clang++-17", "clang++"):
+        if shutil.which(candidate):
+            clang = candidate
+            break
+    if clang is None:
+        print("no clang++ on PATH; thread-safety analysis needs Clang -- skipping")
+        return SKIP
+
+    ok = compile_file(clang, include_dir, here / "ok.cc")
+    if ok.returncode != 0:
+        print("FAIL: ok.cc (correctly locked) did not compile clean;")
+        print("the wrapper header or toolchain is broken, not the seeded bug:")
+        print(ok.stdout)
+        return 1
+
+    bad = compile_file(clang, include_dir, here / "violation.cc")
+    if bad.returncode == 0:
+        print("FAIL: violation.cc (unlocked guarded access) compiled clean --")
+        print("the thread-safety annotations are not being enforced.")
+        return 1
+    if "-Wthread-safety" not in bad.stdout and "thread safety" not in bad.stdout:
+        print("FAIL: violation.cc failed for a reason other than thread safety:")
+        print(bad.stdout)
+        return 1
+
+    print(f"PASS ({clang}): ok.cc clean, violation.cc rejected by -Wthread-safety")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

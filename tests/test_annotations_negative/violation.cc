@@ -1,0 +1,20 @@
+// Deliberate thread-safety violation. This translation unit must FAIL to
+// compile under -Wthread-safety -Werror; the negative-compile runner
+// (run_negative_compile.py) asserts exactly that. If it ever compiles
+// clean, the annotation macros have stopped expanding (or the CI lane has
+// stopped passing the flags) and the whole thread-safety gate is inert.
+
+#include "common/annotations.h"
+
+namespace {
+
+struct Counter {
+  pb::Mutex mu;
+  int value PB_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+// Reads and writes `value` without holding `mu`: the analysis must reject
+// this ("writing variable 'value' requires holding mutex 'mu'").
+int BumpWithoutLock(Counter& c) { return ++c.value; }

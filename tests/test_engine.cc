@@ -223,7 +223,7 @@ TEST(EngineTest, ConcurrentSessionsRepeatQueriesBitIdentically) {
               {r.package.Fingerprint(), r.objective});
         }
       }
-      (void)engine->CloseSession(session);
+      EXPECT_TRUE(engine->CloseSession(session).ok());
     });
   }
   for (std::thread& t : clients) t.join();

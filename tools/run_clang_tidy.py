@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy driver for the CI gate.
+
+Runs the checked-in .clang-tidy configuration over every git-tracked
+translation unit under src/, using the compile_commands.json of an
+existing build directory. Diagnostics from the correctness families
+(WarningsAsErrors in .clang-tidy) fail the run; the rest are printed as
+advice. One failing file does not stop the others — the gate reports
+everything at once.
+
+Usage:
+  python3 tools/run_clang_tidy.py --build-dir build-tsa [-j N] [files...]
+
+With no explicit files, all tracked src/**/*.cc are checked (headers ride
+along via HeaderFilterRegex). Pass changed files for a quicker local loop.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+TIDY_CANDIDATES = ("clang-tidy-18", "clang-tidy")
+
+
+def find_tidy() -> str:
+    for candidate in TIDY_CANDIDATES:
+        if shutil.which(candidate):
+            return candidate
+    sys.exit("run_clang_tidy: no clang-tidy on PATH (want clang-tidy-18); "
+             "on CI this is a broken toolchain install, locally install it "
+             "or rely on the CI gate")
+
+
+def tracked_sources(root: pathlib.Path) -> list:
+    out = subprocess.run(
+        ["git", "ls-files", "src/**/*.cc", "src/*.cc"],
+        cwd=root, stdout=subprocess.PIPE, text=True, check=True)
+    return sorted(set(out.stdout.split()))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree containing compile_commands.json")
+    parser.add_argument("-j", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("files", nargs="*",
+                        help="specific sources (default: all tracked src/*.cc)")
+    args = parser.parse_args()
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    build_dir = pathlib.Path(args.build_dir)
+    if not (build_dir / "compile_commands.json").exists():
+        sys.exit(f"run_clang_tidy: {build_dir}/compile_commands.json not "
+                 "found; configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+
+    tidy = find_tidy()
+    files = args.files or tracked_sources(root)
+    if not files:
+        sys.exit("run_clang_tidy: no source files to check")
+
+    version = subprocess.run([tidy, "--version"], stdout=subprocess.PIPE,
+                             text=True, check=True).stdout.strip()
+    print(f"{version}\nchecking {len(files)} files with -j{args.j}",
+          flush=True)
+
+    def run_one(path: str):
+        proc = subprocess.run(
+            [tidy, "-p", str(build_dir), "--quiet", path],
+            cwd=root, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        return path, proc.returncode, proc.stdout
+
+    failed = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.j) as pool:
+        for path, code, output in pool.map(run_one, files):
+            text = output.strip()
+            if code != 0:
+                failed.append(path)
+                print(f"--- FAIL {path}\n{text}", flush=True)
+            elif "warning:" in text:
+                print(f"--- advice {path}\n{text}", flush=True)
+
+    if failed:
+        print(f"\nrun_clang_tidy: {len(failed)}/{len(files)} files failed:")
+        for path in failed:
+            print(f"  {path}")
+        return 1
+    print(f"run_clang_tidy: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
