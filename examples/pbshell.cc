@@ -20,6 +20,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/json.h"
 #include "common/strings.h"
 #include "engine/engine.h"
 
@@ -53,6 +54,7 @@ struct Shell {
   \diverse <k> <query>;      enumerate k diverse packages
   \save <path>               write the last result package as CSV
   \spill <table> [blocksize] move a table's columns to disk-backed blocks
+  \append <table> <rows>     append JSON rows, e.g. \append t [[1,2.5,"x"]]
   \stats                     engine counters (cache hits, queries, ...)
   \quit                      exit
 anything else ending in ';' is evaluated as a PaQL query.
@@ -189,6 +191,64 @@ anything else ending in ';' is evaluated as a PaQL query.
                 name.c_str(), block_size);
   }
 
+  void Append(std::istringstream& args) {
+    std::string name;
+    args >> name;
+    std::string rows_json;
+    std::getline(args, rows_json);
+    if (name.empty() || rows_json.empty()) {
+      std::printf("usage: \\append <table> <json array of row arrays>\n");
+      return;
+    }
+    auto parsed = pb::json::Parse(rows_json);
+    if (!parsed.ok()) {
+      std::printf("%s\n", parsed.status().ToString().c_str());
+      return;
+    }
+    if (!parsed->is_array()) {
+      std::printf("rows must be a JSON array of row arrays\n");
+      return;
+    }
+    std::vector<pb::db::Tuple> tuples;
+    for (const pb::json::Value& row : parsed->items()) {
+      if (!row.is_array()) {
+        std::printf("each row must be an array of cells\n");
+        return;
+      }
+      pb::db::Tuple tuple;
+      for (const pb::json::Value& cell : row.items()) {
+        if (cell.is_null()) {
+          tuple.push_back(pb::db::Value::Null());
+        } else if (cell.is_bool()) {
+          tuple.push_back(pb::db::Value::Bool(cell.as_bool()));
+        } else if (cell.is_number()) {
+          // Whole numbers travel as Int (widened into DOUBLE columns).
+          const double d = cell.as_number();
+          tuple.push_back(d == static_cast<double>(cell.as_int())
+                              ? pb::db::Value::Int(cell.as_int())
+                              : pb::db::Value::Double(d));
+        } else if (cell.is_string()) {
+          tuple.push_back(pb::db::Value::String(cell.as_string()));
+        } else {
+          std::printf("cells must be scalars (null, bool, number, "
+                      "string)\n");
+          return;
+        }
+      }
+      tuples.push_back(std::move(tuple));
+    }
+    auto outcome = engine.AppendRows(name, std::move(tuples));
+    if (!outcome.ok()) {
+      std::printf("%s\n", outcome.status().ToString().c_str());
+      return;
+    }
+    std::printf("appended %zu row(s) to '%s' (%zu rows total)%s\n",
+                outcome->rows, name.c_str(), outcome->table_rows,
+                outcome->full_invalidation
+                    ? "; table was spilled — caches fully invalidated"
+                    : "");
+  }
+
   void Stats() {
     const pb::engine::EngineStats s = engine.stats();
     std::printf("  queries %lld (errors %lld, cancelled %lld)\n",
@@ -200,6 +260,12 @@ anything else ending in ';' is evaluated as a PaQL query.
                 static_cast<long long>(s.result_cache_hits),
                 static_cast<long long>(s.warm_cache_hits),
                 static_cast<long long>(s.warm_cache_misses));
+    std::printf("  appends %lld (%lld rows): %lld revalidations, %lld full "
+                "invalidations\n",
+                static_cast<long long>(s.appends),
+                static_cast<long long>(s.rows_appended),
+                static_cast<long long>(s.revalidations),
+                static_cast<long long>(s.maintenance_full_invalidations));
     std::printf("  block cache: %lld hits / %lld misses, %lld evictions\n",
                 static_cast<long long>(s.block_cache_hits),
                 static_cast<long long>(s.block_cache_misses),
@@ -227,6 +293,7 @@ anything else ending in ';' is evaluated as a PaQL query.
       else if (cmd == "show") Show(args);
       else if (cmd == "save") Save(args);
       else if (cmd == "spill") Spill(args);
+      else if (cmd == "append") Append(args);
       else if (cmd == "stats") Stats();
       else if (cmd == "explain" || cmd == "all" || cmd == "diverse") {
         size_t k = 5;

@@ -151,6 +151,171 @@ void SplitRange(const std::vector<std::vector<double>>& feature_cols,
              index, groups);
 }
 
+/// The member closest to the group's feature centroid (L2, ties to the
+/// earliest member). The same rule serves the full build and the
+/// per-dirty-group recompute of the maintained path, so both produce
+/// identical representatives for identical memberships.
+size_t ComputeRep(const std::vector<size_t>& members,
+                  const std::vector<std::vector<double>>& feature_cols) {
+  const size_t dims = feature_cols.size();
+  std::vector<double> centroid(dims, 0.0);
+  for (size_t d = 0; d < dims; ++d) {
+    const double* f = feature_cols[d].data();
+    for (size_t i : members) centroid[d] += f[i];
+  }
+  for (double& c : centroid) c /= static_cast<double>(members.size());
+  size_t rep = members[0];
+  double best = kInf;
+  for (size_t m = 0; m < members.size(); ++m) {
+    double dist = 0.0;
+    for (size_t d = 0; d < dims; ++d) {
+      double delta = feature_cols[d][members[m]] - centroid[d];
+      dist += delta * delta;
+    }
+    if (dist < best) {
+      best = dist;
+      rep = members[m];
+    }
+  }
+  return rep;
+}
+
+/// Incremental partition maintenance over a compatible state: route the
+/// appended candidates [state->n_candidates, n) to their nearest
+/// representative, split groups past the size threshold, merge undersized
+/// ones, and recompute representatives for every dirty group. Everything
+/// here is single-threaded and deterministic (ties break to the lowest
+/// group index), so the maintained partition — and therefore the solve —
+/// is identical for any thread count.
+void MaintainPartition(SketchRefineState* state,
+                       const std::vector<std::vector<double>>& feature_cols,
+                       size_t n, const SketchRefineOptions& options,
+                       SketchRefineResult* out) {
+  const size_t dims = feature_cols.size();
+  auto mark_dirty = [](SketchRefineState::Group& g) {
+    g.dirty = true;
+    g.has_solution = false;
+    g.cached_others.clear();
+    g.cached_solution = solver::MilpResult();
+  };
+
+  // ---- Route appended candidates to the nearest representative.
+  const double radius2 =
+      options.route_max_distance > 0.0
+          ? options.route_max_distance * options.route_max_distance
+          : kInf;
+  for (size_t p = state->n_candidates; p < n; ++p) {
+    size_t best_g = 0;
+    double best_d2 = kInf;
+    for (size_t g = 0; g < state->groups.size(); ++g) {
+      double d2 = 0.0;
+      const size_t rep = state->groups[g].rep;
+      for (size_t d = 0; d < dims; ++d) {
+        double delta = feature_cols[d][p] - feature_cols[d][rep];
+        d2 += delta * delta;
+      }
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best_g = g;
+      }
+    }
+    if (best_d2 > radius2) {
+      // Too far from every group: a singleton keeps the outlier from
+      // stretching a representative into meaninglessness.
+      SketchRefineState::Group fresh;
+      fresh.members.push_back(p);
+      fresh.rep = p;
+      mark_dirty(fresh);
+      state->groups.push_back(std::move(fresh));
+    } else {
+      state->groups[best_g].members.push_back(p);
+      mark_dirty(state->groups[best_g]);
+    }
+    ++out->appended_routed;
+  }
+
+  // ---- Split groups that drifted past the size threshold back into
+  // tau-bounded parts (same recursive median split as the full build,
+  // scoped to the group's members). The first part replaces the group in
+  // place; the rest append, so untouched group indices never shift.
+  const size_t split_threshold = options.split_threshold > 0
+                                     ? options.split_threshold
+                                     : 2 * options.partition_size;
+  const size_t original_groups = state->groups.size();
+  for (size_t gi = 0; gi < original_groups; ++gi) {
+    if (state->groups[gi].members.size() <= split_threshold) continue;
+    const std::vector<size_t> members = std::move(state->groups[gi].members);
+    std::vector<std::vector<double>> local(
+        dims, std::vector<double>(members.size()));
+    for (size_t d = 0; d < dims; ++d) {
+      for (size_t m = 0; m < members.size(); ++m) {
+        local[d][m] = feature_cols[d][members[m]];
+      }
+    }
+    std::vector<std::vector<size_t>> parts = PartitionCandidatesColumnar(
+        local, members.size(), options.partition_size);
+    for (size_t pi = 0; pi < parts.size(); ++pi) {
+      std::vector<size_t> part;
+      part.reserve(parts[pi].size());
+      for (size_t local_idx : parts[pi]) part.push_back(members[local_idx]);
+      if (pi == 0) {
+        state->groups[gi].members = std::move(part);
+        mark_dirty(state->groups[gi]);
+      } else {
+        SketchRefineState::Group fresh;
+        fresh.members = std::move(part);
+        mark_dirty(fresh);
+        state->groups.push_back(std::move(fresh));
+      }
+    }
+    ++out->groups_split;
+  }
+
+  // ---- Merge undersized groups into their nearest neighbour (by
+  // representative distance; representatives may be stale for dirty
+  // groups, which only moves WHERE a sliver lands, never correctness —
+  // the target is re-solved either way).
+  if (options.merge_min_size > 0) {
+    for (size_t gi = 0; gi < state->groups.size();) {
+      if (state->groups.size() == 1 ||
+          state->groups[gi].members.size() >= options.merge_min_size) {
+        ++gi;
+        continue;
+      }
+      size_t best_g = gi == 0 ? 1 : 0;
+      double best_d2 = kInf;
+      for (size_t g = 0; g < state->groups.size(); ++g) {
+        if (g == gi) continue;
+        double d2 = 0.0;
+        for (size_t d = 0; d < dims; ++d) {
+          double delta = feature_cols[d][state->groups[gi].rep] -
+                         feature_cols[d][state->groups[g].rep];
+          d2 += delta * delta;
+        }
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best_g = g;
+        }
+      }
+      SketchRefineState::Group& target = state->groups[best_g];
+      target.members.insert(target.members.end(),
+                            state->groups[gi].members.begin(),
+                            state->groups[gi].members.end());
+      mark_dirty(target);
+      state->groups.erase(state->groups.begin() + gi);
+      ++out->groups_merged;
+      // Do not advance: the next group slid into slot gi.
+    }
+  }
+
+  // ---- Dirty groups get fresh representatives; clean ones keep theirs
+  // (same membership => ComputeRep would return the same answer anyway).
+  for (SketchRefineState::Group& g : state->groups) {
+    if (g.dirty) g.rep = ComputeRep(g.members, feature_cols);
+  }
+  state->n_candidates = n;
+}
+
 }  // namespace
 
 std::vector<std::vector<size_t>> PartitionCandidatesColumnar(
@@ -285,55 +450,98 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
   std::vector<std::vector<double>> feature_cols(dims);
   for (size_t r = 0; r < rows.size(); ++r) feature_cols[r] = rows[r].w;
   if (aq.has_objective) feature_cols[rows.size()] = obj_w;
-  for (std::vector<double>& col : feature_cols) {
-    auto [mn, mx] = std::minmax_element(col.begin(), col.end());
-    double lo = *mn, span = *mx - *mn;
-    if (span > 0) {
-      for (double& v : col) v = (v - lo) / span;
-    } else {
-      std::fill(col.begin(), col.end(), 0.0);
-    }
-  }
-  std::vector<std::vector<size_t>> groups = PartitionCandidatesColumnar(
-      feature_cols, n, options.partition_size, &out.zone_map_skipped_blocks);
-  out.num_partitions = groups.size();
 
-  // Representative: the member closest to the group's feature centroid.
-  std::vector<size_t> rep(groups.size());
-  for (size_t g = 0; g < groups.size(); ++g) {
-    const auto& members = groups[g];
-    std::vector<double> centroid(dims, 0.0);
+  // A caller-held state turns the partition into maintained structure: a
+  // compatible state (same dimensionality, candidates only appended) is
+  // updated in place; anything else falls back to a full build that
+  // (re)populates it. The cheap checks here catch dimension drift; the
+  // same-query/append-only discipline is the caller's contract (see
+  // SketchRefineState).
+  SketchRefineState* state = options.state;
+  const bool incremental = state != nullptr && !state->groups.empty() &&
+                           state->dims == dims &&
+                           state->n_candidates <= n &&
+                           state->feat_lo.size() == dims;
+  if (incremental) {
+    // Frozen normalization: routing and centroid geometry must live in
+    // the space the partition was built in, so the affine map comes from
+    // the state instead of a per-call min/max.
     for (size_t d = 0; d < dims; ++d) {
-      const double* f = feature_cols[d].data();
-      for (size_t i : members) centroid[d] += f[i];
-    }
-    for (double& c : centroid) c /= static_cast<double>(members.size());
-    std::vector<double> dist(members.size(), 0.0);
-    for (size_t d = 0; d < dims; ++d) {
-      const double* f = feature_cols[d].data();
-      for (size_t m = 0; m < members.size(); ++m) {
-        double delta = f[members[m]] - centroid[d];
-        dist[m] += delta * delta;
+      const double lo = state->feat_lo[d];
+      const double span = state->feat_span[d];
+      std::vector<double>& col = feature_cols[d];
+      if (span > 0) {
+        for (double& v : col) v = (v - lo) / span;
+      } else {
+        std::fill(col.begin(), col.end(), 0.0);
       }
     }
-    double best = kInf;
-    rep[g] = members[0];
-    for (size_t m = 0; m < members.size(); ++m) {
-      if (dist[m] < best) {
-        best = dist[m];
-        rep[g] = members[m];
+  } else {
+    if (state != nullptr) {
+      // Incompatible (or first-use) state: rebuild it from scratch.
+      *state = SketchRefineState();
+      state->dims = dims;
+      state->feat_lo.resize(dims);
+      state->feat_span.resize(dims);
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      std::vector<double>& col = feature_cols[d];
+      auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+      double lo = *mn, span = *mx - *mn;
+      if (state != nullptr) {
+        state->feat_lo[d] = lo;
+        state->feat_span[d] = span;
+      }
+      if (span > 0) {
+        for (double& v : col) v = (v - lo) / span;
+      } else {
+        std::fill(col.begin(), col.end(), 0.0);
       }
     }
   }
+
+  std::vector<std::vector<size_t>> groups;
+  std::vector<size_t> rep;
+  if (incremental) {
+    out.state_reused = true;
+    MaintainPartition(state, feature_cols, n, options, &out);
+    groups.reserve(state->groups.size());
+    rep.reserve(state->groups.size());
+    for (const SketchRefineState::Group& g : state->groups) {
+      groups.push_back(g.members);
+      rep.push_back(g.rep);
+    }
+  } else {
+    groups = PartitionCandidatesColumnar(
+        feature_cols, n, options.partition_size, &out.zone_map_skipped_blocks);
+    rep.resize(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      rep[g] = ComputeRep(groups[g], feature_cols);
+    }
+    if (state != nullptr) {
+      state->groups.resize(groups.size());
+      for (size_t g = 0; g < groups.size(); ++g) {
+        state->groups[g].members = groups[g];
+        state->groups[g].rep = rep[g];
+        state->groups[g].dirty = true;
+      }
+      state->n_candidates = n;
+    }
+  }
+  out.num_partitions = groups.size();
   out.partition_seconds = phase_timer.ElapsedSeconds();
 
   // ---- Sketch (+ refine, with backtracking over excluded groups).
   std::vector<bool> excluded(groups.size(), false);
-  // Sketch-phase warm state, local so a caller-provided options.milp.warm
-  // is never consumed (and so clobbered) by SketchRefine's internal
-  // solves. A backtrack rebuilds the sketch with fewer variables, which
-  // the signature check detects and resets automatically.
-  solver::MilpWarmStart sketch_warm;
+  // Sketch-phase warm state: the caller's persistent copy when a state is
+  // in play (so it survives across calls), otherwise call-local — never
+  // options.milp.warm, which would be consumed (and so clobbered) by
+  // SketchRefine's internal solves. A backtrack rebuilds the sketch with
+  // fewer variables, which the signature check detects and resets
+  // automatically.
+  solver::MilpWarmStart local_sketch_warm;
+  solver::MilpWarmStart& sketch_warm =
+      state != nullptr ? state->sketch_warm : local_sketch_warm;
   for (int attempt = 0; attempt <= options.max_backtracks; ++attempt) {
     if (interrupted()) {
       out.cancelled = true;
@@ -442,11 +650,17 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
       std::vector<double> others;  // per-row contribution of everyone else
       solver::LpModel model;
       solver::MilpResult solution;
-      /// Task-local solver warm-start state (root basis + pseudocosts),
-      /// written by this task's solve and re-seeded into the repair pass's
-      /// re-solve of the same group — the models are structurally
-      /// identical, only the residual ranges move.
-      solver::MilpWarmStart warm;
+      /// Solver warm-start state (root basis + pseudocosts) for this
+      /// group's solves, re-seeded into the repair pass's re-solve of the
+      /// same group — the models are structurally identical, only the
+      /// residual ranges move. Points at the group's persistent slot when
+      /// a SketchRefineState is in play (so it survives across calls),
+      /// else at local_warm. Distinct groups own distinct slots, so the
+      /// parallel fan-out never shares warm state.
+      solver::MilpWarmStart* warm = nullptr;
+      solver::MilpWarmStart local_warm;
+      /// Answered from the state's cached sub-solution; no solver work.
+      bool reused = false;
       Status status = Status::OK();
     };
     // Per-row activity of the whole sketch state; each task's residual is
@@ -466,9 +680,23 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
         tasks[t].others[r] =
             base[r] - rows[r].w[rep[g]] * static_cast<double>(group_mult[g]);
       }
+      SketchRefineState::Group* sg =
+          state != nullptr ? &state->groups[g] : nullptr;
+      tasks[t].warm = sg != nullptr ? &sg->warm : &tasks[t].local_warm;
+      if (sg != nullptr && options.reuse_group_solutions && !sg->dirty &&
+          sg->has_solution && tasks[t].others == sg->cached_others) {
+        // Clean group, identical residual: the cached sub-solution IS what
+        // a re-solve would return (same model bit-for-bit, deterministic
+        // solver), so skip the solver entirely.
+        tasks[t].solution = sg->cached_solution;
+        tasks[t].reused = true;
+        ++out.groups_reused;
+        continue;
+      }
       tasks[t].model = build_sub(g, tasks[t].others);
+      ++out.dirty_groups;
+      ++out.refine_ilps_solved;
     }
-    out.refine_ilps_solved += static_cast<int64_t>(tasks.size());
     // Thread-budget split: group-level fan-out times node-level tree
     // parallelism stays within options.num_threads — node_threads is
     // clamped into [1, budget] so the budget is authoritative. Any split
@@ -478,16 +706,19 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
         ResolveThreads(options.compute.node_threads, options.node_threads),
         thread_budget);
     auto solve_task = [&](RefineTask& task) {
+      // Reused tasks carry their answer already; nothing to solve.
+      if (task.reused) return;
       // A task that starts after interruption leaves its solution at the
       // kNoSolution default — the merge below then routes through repair,
       // whose own interruption check returns before any re-solve.
       if (interrupted()) return;
-      // Each task owns its warm-start state: safe under the thread pool
-      // (no sharing) and deterministic (state depends only on the task's
-      // own solves). A caller-provided options.milp.warm would be shared
-      // across concurrent tasks, so it is always overridden here.
+      // Each task owns its warm-start slot (task-local or its group's
+      // persistent one — distinct either way): safe under the thread pool
+      // (no sharing) and deterministic (the slot depends only on the
+      // task's own solves). A caller-provided options.milp.warm would be
+      // shared across concurrent tasks, so it is always overridden here.
       solver::MilpOptions task_milp = budgeted_milp();
-      task_milp.warm = &task.warm;
+      task_milp.warm = task.warm;
       // Like `warm`, always overridden: a caller-set milp.num_threads
       // would multiply with the group fan-out and overrun the budget.
       task_milp.num_threads = node_threads;
@@ -516,6 +747,9 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     }
     for (const RefineTask& task : tasks) {
       PB_RETURN_IF_ERROR(task.status);
+      // Reused tasks did no solver work this call: their cached result's
+      // counters were charged when it was originally solved.
+      if (task.reused) continue;
       out.lp_iterations += task.solution.lp_iterations;
       out.lp_dual_iterations += task.solution.lp_dual_iterations;
       out.lp_refactorizations += task.solution.lp_refactorizations;
@@ -588,7 +822,7 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
           // task's cached root basis and pseudocost history carry over
           // (sequential pass, so borrowing the task's warm state is safe).
           solver::MilpOptions repair_milp = budgeted_milp();
-          repair_milp.warm = &tasks[t].warm;
+          repair_milp.warm = tasks[t].warm;
           // The repair pass is sequential: each re-solve gets the whole
           // thread budget as tree parallelism.
           repair_milp.num_threads = thread_budget;
@@ -661,6 +895,20 @@ Result<SketchRefineResult> SketchRefine(const paql::AnalyzedQuery& aq,
     out.found = true;
     PB_ASSIGN_OR_RETURN(out.objective, PackageObjective(aq, pkg));
     out.package = std::move(pkg);
+    if (state != nullptr) {
+      // Persist this call's refine results: each refined group caches the
+      // residual it was solved against plus its sub-solution (the
+      // task-level pair — repair re-solves depend on drift ordering and
+      // are not replayable, so they are never cached). Every group is now
+      // clean: memberships and representatives match what was just solved.
+      for (size_t t = 0; t < refine_order.size(); ++t) {
+        SketchRefineState::Group& sg = state->groups[refine_order[t]];
+        sg.has_solution = true;
+        sg.cached_others = std::move(tasks[t].others);
+        sg.cached_solution = std::move(tasks[t].solution);
+      }
+      for (SketchRefineState::Group& sg : state->groups) sg.dirty = false;
+    }
     return out;
   }
 

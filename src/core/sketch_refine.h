@@ -36,6 +36,20 @@
 //
 // The result is validated against the original query; approximation shows
 // up only in the objective value, which the E6 bench compares to Direct.
+//
+// Incremental maintenance (HTAP): the partition is reusable state, not a
+// per-call throwaway. A caller that keeps a SketchRefineState alive across
+// calls (SketchRefineOptions::state) turns appends into maintenance work
+// instead of a rebuild: new candidates are routed to their nearest group
+// (in the state's frozen feature normalization), groups that grow past a
+// size threshold split and undersized ones merge, and only "dirty" groups
+// — those whose membership changed, or whose residual constraints moved —
+// are re-solved, each from its saved per-group MilpWarmStart. A clean
+// group whose residual repeats exactly reuses its cached sub-solution
+// without any solver work. Because the solver is deterministic and warm
+// starts never change results (pinned by test_warm_start), a maintained
+// call is bit-identical to re-solving every group cold over the same
+// partition; reuse only removes work, never changes answers.
 
 #ifndef PB_CORE_SKETCH_REFINE_H_
 #define PB_CORE_SKETCH_REFINE_H_
@@ -49,6 +63,76 @@
 #include "solver/milp.h"
 
 namespace pb::core {
+
+/// Persistent partitioning state for one (query, table) pair, owned by the
+/// caller and passed via SketchRefineOptions::state. SketchRefine reads it
+/// on entry and updates it on exit:
+///
+///   - empty / incompatible state -> a full partition build populates it;
+///   - compatible state over a grown candidate set -> incremental
+///     maintenance (route new candidates, split/merge, re-solve only the
+///     dirty groups).
+///
+/// Compatibility requires the same query (weights per candidate and the
+/// feature dimensionality derive from it) over the same table with rows
+/// only appended since the state was built: WHERE predicates are per-row,
+/// so the surviving candidate positions of the old prefix are unchanged
+/// and new candidates can only appear at the end. The caller is
+/// responsible for that discipline (the Engine keys states on query text
+/// and drops them on any non-append catalog mutation); SketchRefine itself
+/// only checks the cheap invariants (dimensionality, monotone growth).
+///
+/// NOT thread-safe: like MilpWarmStart, one state must not be shared by
+/// concurrent calls.
+struct SketchRefineState {
+  struct Group {
+    std::vector<size_t> members;  ///< candidate positions
+    size_t rep = 0;               ///< representative (candidate position)
+    /// Membership changed since the last successful solve (or the group
+    /// was never solved): the representative must be recomputed and the
+    /// cached sub-solution is gone.
+    bool dirty = true;
+    /// Per-group solver warm start (root basis + pseudocosts), reused
+    /// across calls whenever this group's sub-ILP is re-solved.
+    solver::MilpWarmStart warm;
+    /// Cached refine sub-solution from the last successful call, valid
+    /// while the group stays clean. Reused verbatim when the residual it
+    /// was solved against repeats exactly (same model bit-for-bit, and the
+    /// solver is deterministic — so reuse cannot change the answer).
+    bool has_solution = false;
+    std::vector<double> cached_others;
+    solver::MilpResult cached_solution;
+  };
+
+  /// Candidates covered by `groups` (positions [0, n_candidates) of the
+  /// filtered candidate vector).
+  size_t n_candidates = 0;
+  size_t dims = 0;  ///< feature dimensionality the state was built with
+  /// Frozen per-dimension normalization captured at build time. Routing
+  /// and centroid geometry must live in the space the partition was built
+  /// in, so the affine map is state — appended values are mapped with it,
+  /// not re-normalized.
+  std::vector<double> feat_lo;
+  std::vector<double> feat_span;
+  std::vector<Group> groups;
+  /// Sketch-phase warm start (survives across calls; the signature check
+  /// resets it automatically when the group count changes).
+  solver::MilpWarmStart sketch_warm;
+
+  /// Drops every cached sub-solution and warm start while keeping the
+  /// partition itself — the "cold re-solve over the same partition"
+  /// baseline the incremental path is benchmarked (and bit-compared)
+  /// against.
+  void InvalidateSolutions() {
+    for (Group& g : groups) {
+      g.warm = solver::MilpWarmStart();
+      g.has_solution = false;
+      g.cached_others.clear();
+      g.cached_solution = solver::MilpResult();
+    }
+    sketch_warm = solver::MilpWarmStart();
+  }
+};
 
 struct SketchRefineOptions {
   /// Maximum tuples per partition (tau). Smaller = finer approximation,
@@ -94,6 +178,30 @@ struct SketchRefineOptions {
   /// result, only the schedule.
   int node_threads = 1;
   solver::MilpOptions milp;
+
+  // ----- Incremental maintenance (HTAP) ------------------------------------
+
+  /// Optional cross-call partition state (borrowed, in/out); see
+  /// SketchRefineState. Null = the classic one-shot pipeline.
+  SketchRefineState* state = nullptr;
+  /// A maintained group larger than this re-splits into tau-bounded parts
+  /// (0 = 2 * partition_size). Routing alone never re-partitions, so the
+  /// threshold bounds how far a hot group can drift from tau before it is
+  /// split back.
+  size_t split_threshold = 0;
+  /// A maintained group smaller than this merges into its nearest
+  /// neighbour (0 = never merge). Appends never shrink groups, so merges
+  /// only fire when splits leave slivers behind or the caller lowers tau.
+  size_t merge_min_size = 0;
+  /// Routing radius: an appended candidate farther than this (L2 in the
+  /// state's frozen normalized feature space) from every representative
+  /// starts a new singleton group instead of stretching the nearest one
+  /// (0 = unlimited, always route).
+  double route_max_distance = 0.0;
+  /// Reuse cached sub-solutions of clean groups whose residuals repeat
+  /// exactly. Off = re-solve every refined group (the cold baseline; the
+  /// result is bit-identical either way, only the work differs).
+  bool reuse_group_solutions = true;
 };
 
 struct SketchRefineResult {
@@ -126,6 +234,20 @@ struct SketchRefineResult {
   /// index instead of a value scan (identity-ordered ranges only; see
   /// PartitionCandidatesColumnar). Deterministic for a given query + table.
   int64_t zone_map_skipped_blocks = 0;
+  // ----- Incremental maintenance counters (0 without options.state) -------
+  /// The partition came from options.state (incremental maintenance ran
+  /// instead of a full build).
+  bool state_reused = false;
+  /// Appended candidates routed into existing (or new singleton) groups.
+  int64_t appended_routed = 0;
+  /// Refined groups re-solved this call (dirty membership, moved residual,
+  /// or reuse disabled).
+  int64_t dirty_groups = 0;
+  /// Refined groups answered from the state's cached sub-solutions with
+  /// zero solver work.
+  int64_t groups_reused = 0;
+  int64_t groups_split = 0;   ///< maintained groups re-split (over threshold)
+  int64_t groups_merged = 0;  ///< maintained groups merged away (under min)
 };
 
 /// Offline partitioning, exposed for reuse across queries on the same

@@ -1,5 +1,6 @@
 #include "db/column.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace pb::db {
@@ -321,6 +322,53 @@ Status Column::Spill(std::shared_ptr<storage::SegmentFile> file,
   return Status::OK();
 }
 
+Status Column::Unspill() {
+  if (!spilled()) return Status::OK();
+  const size_t n = size();
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  if (storage_ == ValueType::kInt) {
+    ints.reserve(n);
+  } else {
+    doubles.reserve(n);
+  }
+  for (size_t b = 0; b < locators_.size(); ++b) {
+    // Uncounted by any StorageBudget: unspill is a state transition, not a
+    // query-path gather, and must not fail on policy.
+    PB_ASSIGN_OR_RETURN(storage::BlockHandle handle,
+                        PinBlock(b, /*charge_budget=*/false));
+    const storage::NumericBlock& blk = *handle;
+    if (storage_ == ValueType::kInt) {
+      if (blk.type != storage::BlockType::kInt64) {
+        return Status::Internal("unspill: block " + std::to_string(b) +
+                                " is not int64 storage");
+      }
+      ints.insert(ints.end(), blk.ints.begin(), blk.ints.end());
+    } else {
+      if (blk.type != storage::BlockType::kFloat64) {
+        return Status::Internal("unspill: block " + std::to_string(b) +
+                                " is not float64 storage");
+      }
+      doubles.insert(doubles.end(), blk.doubles.begin(), blk.doubles.end());
+    }
+  }
+  const size_t restored =
+      storage_ == ValueType::kInt ? ints.size() : doubles.size();
+  if (restored != n) {
+    return Status::Internal("unspill restored " + std::to_string(restored) +
+                            " of " + std::to_string(n) + " values");
+  }
+  // Commit: flip back to the resident representation. The zone cache is
+  // untouched — the values and block granularity are unchanged, so the
+  // zones built at spill time keep serving the resident column.
+  ints_ = std::move(ints);
+  doubles_ = std::move(doubles);
+  file_.reset();
+  cache_ = nullptr;
+  locators_.clear();
+  return Status::OK();
+}
+
 void Column::SetBlockSize(size_t block_size) {
   PB_DCHECK(!spilled()) << "block size of a spilled column is fixed at spill";
   PB_DCHECK(block_size > 0);
@@ -338,10 +386,18 @@ const storage::ZoneMap* Column::ZoneMaps() const {
     PB_DCHECK(!spilled());  // spill metadata never goes stale (read-only)
     const size_t n = size();
     const size_t blocks = n == 0 ? 0 : (n + block_size_ - 1) / block_size_;
-    zones_.clear();
+    // Incremental extension: appends never touch sealed rows, so every
+    // block that was already complete at the last build is unchanged. Keep
+    // those zones and recompute only from the first block the growth
+    // touched (the previously-partial tail, plus anything new).
+    size_t keep = 0;
+    if (zones_built_ && zones_for_size_ < n) {
+      keep = std::min(zones_for_size_ / block_size_, zones_.size());
+    }
+    zones_.resize(keep);
     zones_.reserve(blocks);
     const bool is_int = storage_ == ValueType::kInt;
-    for (size_t b = 0; b < blocks; ++b) {
+    for (size_t b = keep; b < blocks; ++b) {
       const size_t begin = b * block_size_;
       const size_t count = std::min(block_size_, n - begin);
       zones_.push_back(storage::ComputeZoneMap(

@@ -302,6 +302,13 @@ class Column {
 
   bool spilled() const { return file_ != nullptr; }
 
+  /// Reads every block back into the RAM vector and clears the spill
+  /// state, making the column appendable again — the inverse of Spill().
+  /// Values round-trip bit-exactly (blocks store the raw vector slices,
+  /// NULL placeholders included). The zone-map cache stays valid: same
+  /// values, same block granularity. No-op when resident.
+  Status Unspill();
+
   /// Logical block granularity: the spill block size, or the zone-map
   /// granularity of a resident column (kDefaultBlockSize unless overridden).
   size_t block_size() const { return block_size_; }
@@ -350,8 +357,9 @@ class Column {
   size_t block_size_ = storage::kDefaultBlockSize;
 
   // Zone maps: eager (spill metadata) for spilled columns, built lazily
-  // for resident numeric ones; rebuilt when the column has grown since the
-  // last build.
+  // for resident numeric ones; when the column has grown since the last
+  // build, zones of still-complete blocks are kept and only the tail is
+  // recomputed (appends never touch sealed blocks).
   mutable Mutex zone_mu_;
   mutable std::vector<storage::ZoneMap> zones_ PB_GUARDED_BY(zone_mu_);
   mutable bool zones_built_ PB_GUARDED_BY(zone_mu_) = false;

@@ -22,7 +22,7 @@ Tuple Table::row(size_t i) const {
   return out;
 }
 
-Status Table::Append(Tuple row) {
+Status Table::CheckRow(const Tuple& row) const {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " does not match schema (" +
@@ -40,7 +40,28 @@ Status Table::Append(Tuple row) {
         "' expects " + ValueTypeToString(declared) + ", got " +
         ValueTypeToString(row[i].type()));
   }
+  return Status::OK();
+}
+
+Status Table::Append(Tuple row) {
+  PB_RETURN_IF_ERROR(CheckRow(row));
   AppendUnchecked(std::move(row));
+  return Status::OK();
+}
+
+Status Table::AppendRows(std::vector<Tuple> rows) {
+  if (spilled()) {
+    return Status::InvalidArgument(
+        "table '" + name_ +
+        "' is spilled (append-frozen); unspill it before appending");
+  }
+  // Validate the whole batch before committing any row, so a bad row never
+  // leaves the table half-grown.
+  for (const Tuple& row : rows) {
+    PB_RETURN_IF_ERROR(CheckRow(row));
+  }
+  Reserve(num_rows_ + rows.size());
+  for (Tuple& row : rows) AppendUnchecked(std::move(row));
   return Status::OK();
 }
 
@@ -123,6 +144,13 @@ bool Table::spilled() const {
     if (c.spilled()) return true;
   }
   return false;
+}
+
+Status Table::Unspill() {
+  for (Column& c : columns_) {
+    if (c.spilled()) PB_RETURN_IF_ERROR(c.Unspill());
+  }
+  return Status::OK();
 }
 
 void Table::SetBlockSize(size_t block_size) {

@@ -132,6 +132,15 @@ class Table {
   /// NULL fits anywhere; INT fits a DOUBLE column (and is widened).
   Status Append(Tuple row);
 
+  /// Appends a batch all-or-nothing: every row is validated (arity + type,
+  /// same rules as Append) before any is committed, so a failed batch never
+  /// leaves the table half-grown. Fails with InvalidArgument on a spilled
+  /// (append-frozen) table — callers that must grow a spilled table go
+  /// through Unspill() first. Column stats and zone maps extend
+  /// incrementally: zones of blocks that were complete before the append
+  /// are reused as-is (see Column::ZoneMaps).
+  Status AppendRows(std::vector<Tuple> rows);
+
   /// Appends without checks (compatibility hot path). Arity must match;
   /// cells must fit their column's storage (NULL anywhere, INT→DOUBLE ok).
   void AppendUnchecked(Tuple row);
@@ -184,6 +193,13 @@ class Table {
   /// True when any column of this table is spilled.
   bool spilled() const;
 
+  /// Reads every spilled column back into RAM vectors and clears the spill
+  /// state, making the table appendable again. The inverse of SpillToDisk:
+  /// values round-trip bit-exactly (blocks store the raw vectors). No-op
+  /// on a resident table. On an IO error some columns may already be
+  /// resident; the table stays readable either way.
+  Status Unspill();
+
   /// Sets the zone-map granularity of every resident numeric column
   /// (test/bench hook; see Column::SetBlockSize).
   void SetBlockSize(size_t block_size);
@@ -193,6 +209,9 @@ class Table {
 
  private:
   friend class RowAppender;
+
+  /// Arity + type validation shared by Append and AppendRows.
+  Status CheckRow(const Tuple& row) const;
 
   std::string name_;
   Schema schema_;

@@ -130,6 +130,36 @@ Status Engine::SpillTable(const std::string& name, const std::string& dir,
   return Status::OK();
 }
 
+Result<Engine::AppendOutcome> Engine::AppendRows(const std::string& name,
+                                                 std::vector<db::Tuple> rows) {
+  WriterMutexLock lock(&catalog_mu_);
+  PB_ASSIGN_OR_RETURN(db::Table * table, catalog_.GetMutable(name));
+  AppendOutcome out;
+  out.rows = rows.size();
+  if (table->spilled()) {
+    // Spilled tables are append-frozen: read the blocks back, grow the
+    // resident table, and bump the generation — the full-invalidation
+    // fallback. Every cached result and maintained partition over the old
+    // layout starts over (the spill counters no longer describe it).
+    PB_RETURN_IF_ERROR(table->Unspill());
+    PB_RETURN_IF_ERROR(table->AppendRows(std::move(rows)));
+    ++catalog_generation_;
+    out.full_invalidation = true;
+    MutexLock slock(&stats_mu_);
+    ++stats_.maintenance_full_invalidations;
+  } else {
+    // The incremental path: no generation bump. Cached results stay
+    // addressable and revalidate against the new row count at hit time;
+    // maintained partitions absorb the rows as dirty-group work.
+    PB_RETURN_IF_ERROR(table->AppendRows(std::move(rows)));
+  }
+  out.table_rows = table->num_rows();
+  MutexLock slock(&stats_mu_);
+  ++stats_.appends;
+  stats_.rows_appended += static_cast<int64_t>(out.rows);
+  return out;
+}
+
 // ---------------------------------------------------------------- sessions
 
 uint64_t Engine::OpenSession() {
@@ -224,6 +254,27 @@ std::shared_ptr<Engine::WarmEntry> Engine::GetWarmEntry(uint64_t signature) {
   return entry;
 }
 
+std::shared_ptr<Engine::MaintenanceEntry> Engine::GetMaintenanceEntry(
+    const std::string& query_key) {
+  MutexLock lock(&maint_mu_);
+  auto it = maint_map_.find(query_key);
+  if (it != maint_map_.end()) {
+    maint_lru_.splice(maint_lru_.begin(), maint_lru_, it->second.lru);
+    return it->second.entry;
+  }
+  maint_lru_.push_front(query_key);
+  auto entry = std::make_shared<MaintenanceEntry>();
+  maint_map_[query_key] = {maint_lru_.begin(), entry};
+  while (maint_map_.size() >
+         std::max<size_t>(1, options_.maintenance_cache_capacity)) {
+    // In-flight solves keep their shared_ptr; eviction only drops the
+    // cache's reference.
+    maint_map_.erase(maint_lru_.back());
+    maint_lru_.pop_back();
+  }
+  return entry;
+}
+
 // ----------------------------------------------------------- thread ledger
 
 int Engine::AcquireThreads(int requested) {
@@ -284,6 +335,7 @@ QueryResponse Engine::ExecuteQuery(uint64_t session_id,
   if (!resp.status.ok()) ++stats_.errors;
   if (resp.cancelled) ++stats_.cancelled;
   if (resp.result_cache_hit) ++stats_.result_cache_hits;
+  if (resp.revalidated) ++stats_.revalidations;
   return resp;
 }
 
@@ -311,9 +363,25 @@ QueryResponse Engine::Run(const std::string& paql, const QueryBudget& budget,
   QueryResponse resp;
   ReaderMutexLock catalog_lock(&catalog_mu_);
 
-  const std::string key = std::to_string(catalog_generation_) + "\n" +
-                          std::string(StripAsciiWhitespace(paql));
-  if (LookupResultCache(key, &resp)) return resp;
+  const std::string normalized = std::string(StripAsciiWhitespace(paql));
+  const std::string key =
+      std::to_string(catalog_generation_) + "\n" + normalized;
+  // Third cache state: a hit whose base table has grown since the entry
+  // was stored (same generation — appends do not bump it) is neither
+  // served nor dropped. It falls through to a fresh solve, which the
+  // maintained partition turns into dirty-group work, and the refreshed
+  // response overwrites the entry ("revalidation").
+  bool stale_by_append = false;
+  if (LookupResultCache(key, &resp)) {
+    bool fresh = true;
+    if (!resp.table.empty()) {
+      auto table_or = catalog_.Get(resp.table);
+      fresh = table_or.ok() && (*table_or)->num_rows() == resp.table_rows;
+    }
+    if (fresh) return resp;
+    stale_by_append = true;
+    resp = QueryResponse();
+  }
 
   Stopwatch parse_timer;
   auto aq_or = paql::ParseAndAnalyze(paql, catalog_);
@@ -325,6 +393,7 @@ QueryResponse Engine::Run(const std::string& paql, const QueryBudget& budget,
   const paql::AnalyzedQuery& aq = *aq_or;
   resp.table = aq.table->name();
   resp.has_objective = aq.has_objective;
+  resp.table_rows = aq.table->num_rows();
 
   // Budget: the deadline covers the whole call; each strategy's own limit
   // is clamped to the time remaining when it starts.
@@ -375,6 +444,12 @@ QueryResponse Engine::Run(const std::string& paql, const QueryBudget& budget,
           resp.status = Status::Infeasible(
               "cardinality pruning proves no package can satisfy the "
               "constraints");
+        } else if (options_.incremental_maintenance &&
+                   aq.extreme_constraints.empty() && !aq.table->spilled()) {
+          // The maintained HTAP route. Extreme constraints are out of
+          // SketchRefine's scope, and spilled tables are append-frozen —
+          // both keep the exact path.
+          RunSketchRefinePath(aq, eo, *bounds_or, normalized, &resp);
         } else {
           RunIlpPath(aq, eo, *bounds_or, &resp);
         }
@@ -391,14 +466,85 @@ QueryResponse Engine::Run(const std::string& paql, const QueryBudget& budget,
     if (screen.ok()) resp.rendered = *std::move(screen);
   }
 
-  // Cache only answers that are proofs: optimal completions and
-  // pruning-proven infeasibility. Heuristic/limited/cancelled responses
-  // could legally differ on a re-run, so they must not be replayed.
+  if (stale_by_append && resp.status.ok()) resp.revalidated = true;
+
+  // Cache answers that replay deterministically: optimal completions,
+  // pruning-proven infeasibility, and maintained SketchRefine packages
+  // (deterministic solver + maintained partition ⇒ a re-run reproduces
+  // them bit-for-bit). Heuristic/limited/cancelled responses could
+  // legally differ on a re-run, so they must not be replayed.
   const bool cacheable =
       (resp.status.ok() && resp.proven_optimal && !resp.cancelled) ||
-      resp.strategy == "Pruning";
+      resp.strategy == "Pruning" ||
+      (resp.status.ok() && !resp.cancelled &&
+       resp.strategy == "SketchRefine");
   if (cacheable) StoreResultCache(key, resp);
   return resp;
+}
+
+void Engine::RunSketchRefinePath(const paql::AnalyzedQuery& aq,
+                                 const core::EvaluationOptions& eo,
+                                 const core::CardinalityBounds& bounds,
+                                 const std::string& query_key,
+                                 QueryResponse* resp) {
+  std::shared_ptr<MaintenanceEntry> entry = GetMaintenanceEntry(query_key);
+
+  core::SketchRefineOptions sro;
+  sro.partition_size = options_.sketch_partition_size;
+  sro.compute = eo.milp.compute;
+  sro.milp = eo.milp;
+  sro.reuse_group_solutions = options_.maintenance_reuse_solutions;
+
+  Stopwatch maintenance_timer;
+  const uint64_t generation = catalog_generation_;
+  Result<core::SketchRefineResult> r_or =
+      [&]() -> Result<core::SketchRefineResult> {
+    // SketchRefineState, like MilpWarmStart, is not thread-safe; the
+    // entry mutex serializes the solves that share this query's state.
+    MutexLock lock(&entry->mu);
+    if (entry->generation != generation) {
+      // Any non-append mutation since the state was built: rebuild from
+      // scratch (appends leave the generation alone on purpose).
+      entry->state = core::SketchRefineState();
+      entry->generation = generation;
+    }
+    sro.state = &entry->state;
+    return core::SketchRefine(aq, sro);
+  }();
+  if (!r_or.ok()) {
+    if (r_or.status().code() == StatusCode::kUnimplemented) {
+      RunIlpPath(aq, eo, bounds, resp);
+      return;
+    }
+    resp->strategy = "SketchRefine";
+    resp->status = r_or.status();
+    return;
+  }
+  const core::SketchRefineResult& r = *r_or;
+  resp->strategy = "SketchRefine";
+  resp->cancelled = r.cancelled;
+  resp->lp_iterations = r.lp_iterations;
+  resp->zone_map_skipped_blocks += r.zone_map_skipped_blocks;
+  resp->dirty_groups = r.dirty_groups;
+  resp->groups_reused = r.groups_reused;
+  resp->warm_start_hit = r.state_reused;
+  if (r.state_reused) {
+    resp->maintenance_ms = maintenance_timer.ElapsedSeconds() * 1000.0;
+  }
+  if (!r.found) {
+    if (r.cancelled) {
+      resp->status = Status::ResourceExhausted(
+          "query cancelled before a package was found");
+      return;
+    }
+    // Approximation came back empty-handed (e.g. backtracking exhausted):
+    // fall back to the exact route rather than reporting infeasible.
+    RunIlpPath(aq, eo, bounds, resp);
+    return;
+  }
+  resp->package = r.package;
+  resp->objective = aq.has_objective ? r.objective : 0.0;
+  resp->proven_optimal = false;
 }
 
 void Engine::RunIlpPath(const paql::AnalyzedQuery& aq,

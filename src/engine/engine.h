@@ -44,6 +44,7 @@
 #include "core/evaluator.h"
 #include "core/explain.h"
 #include "core/package.h"
+#include "core/sketch_refine.h"
 #include "db/catalog.h"
 #include "solver/milp.h"
 #include "storage/block.h"
@@ -90,6 +91,25 @@ struct EngineOptions {
   bool render_packages = false;
   /// Baseline evaluation options; per-query budgets clamp these.
   core::EvaluationOptions defaults;
+
+  // ----- Incremental maintenance (HTAP) ------------------------------------
+
+  /// Route eligible ILP-translatable queries through SketchRefine with a
+  /// per-query maintained partition (see core::SketchRefineState). With
+  /// this on, AppendRows turns repeat queries into dirty-group re-solves
+  /// instead of from-scratch solves, and appended-but-compatible cached
+  /// results are revalidated rather than invalidated. Off (the default) =
+  /// the classic exact pipeline only.
+  bool incremental_maintenance = false;
+  /// Reuse cached per-group sub-solutions of clean groups (the ablation
+  /// knob the incremental bench flips off for its cold baseline; results
+  /// are bit-identical either way, only the solver work differs).
+  bool maintenance_reuse_solutions = true;
+  /// Maintained partition states kept, one per distinct query text (LRU
+  /// beyond this).
+  size_t maintenance_cache_capacity = 16;
+  /// Partition size (tau) for the maintained SketchRefine path.
+  size_t sketch_partition_size = 64;
 };
 
 /// Monotonic engine-wide counters (snapshot via Engine::stats()).
@@ -101,6 +121,15 @@ struct EngineStats {
   int64_t warm_cache_hits = 0;     ///< solves that reused warm state
   int64_t warm_cache_misses = 0;   ///< solves that started cold
   int64_t overload_rejections = 0; ///< SubmitQuery admission failures
+  // -- incremental maintenance (appends) -----------------------------------
+  int64_t appends = 0;             ///< AppendRows calls that committed
+  int64_t rows_appended = 0;       ///< rows committed by those calls
+  /// Stale-by-append cached results re-answered through the maintained
+  /// partition (dirty-group re-solve + sketch re-stitch).
+  int64_t revalidations = 0;
+  /// Appends that had to bump the catalog generation instead (spilled
+  /// table: unspill + append + invalidate everything).
+  int64_t maintenance_full_invalidations = 0;
   // -- block cache (process-wide storage::BlockCache::Default() snapshot) --
   int64_t block_cache_hits = 0;       ///< pins served from memory
   int64_t block_cache_misses = 0;     ///< pins that read the segment file
@@ -134,6 +163,21 @@ struct QueryResponse {
   /// Blocks whose pruning / partitioning bounds came from zone-map
   /// metadata instead of a value scan (deterministic per query + table).
   int64_t zone_map_skipped_blocks = 0;
+  // -- incremental maintenance (populated on the SketchRefine path) -------
+  /// A stale-by-append cached result was refreshed through the maintained
+  /// partition instead of being recomputed from scratch.
+  bool revalidated = false;
+  /// Refined groups re-solved this call (membership or residual changed).
+  int64_t dirty_groups = 0;
+  /// Refined groups answered from cached sub-solutions, zero solver work.
+  int64_t groups_reused = 0;
+  /// Wall time of partition maintenance + dirty-group re-solve, when the
+  /// maintained partition was reused (0 on a cold build).
+  double maintenance_ms = 0.0;
+  /// Rows in the base table when this response was computed — the
+  /// freshness key the result cache checks at hit time (appends do not
+  /// bump the catalog generation).
+  size_t table_rows = 0;
   /// High-water mark of block-cache bytes this query held pinned (0 for
   /// queries over fully resident tables).
   int64_t storage_peak_pinned_bytes = 0;
@@ -181,6 +225,26 @@ class Engine {
   /// is unlinked when the table is dropped or the engine shuts down.
   Status SpillTable(const std::string& name, const std::string& dir = "",
                     size_t block_size = storage::kDefaultBlockSize);
+
+  /// What one AppendRows call did (see below).
+  struct AppendOutcome {
+    size_t rows = 0;        ///< rows committed by this call
+    size_t table_rows = 0;  ///< table size after the append
+    /// The table was spilled: it was read back into RAM, grown, and the
+    /// catalog generation bumped — every cached result and maintained
+    /// partition over it starts over. False = the incremental path: no
+    /// generation bump, cached results revalidate at hit time and
+    /// maintained partitions absorb the new rows as dirty-group work.
+    bool full_invalidation = false;
+  };
+
+  /// Appends a batch of rows to a registered table (exclusive; waits for
+  /// in-flight queries). All-or-nothing: rows are validated against the
+  /// schema before any is committed. Resident tables grow in place without
+  /// invalidating caches; spilled tables fall back to unspill + append +
+  /// full invalidation (see AppendOutcome::full_invalidation).
+  Result<AppendOutcome> AppendRows(const std::string& table,
+                                   std::vector<db::Tuple> rows);
 
   // -- sessions -----------------------------------------------------------
   /// Opens a session and returns its id (ids are never reused). Sessions
@@ -245,6 +309,17 @@ class Engine {
     /// A solve has completed against this entry.
     bool used PB_GUARDED_BY(mu) = false;
   };
+  /// One maintained-partition slot, keyed on normalized query text. The
+  /// entry mutex serializes the solves that share the state
+  /// (SketchRefineState, like MilpWarmStart, is not thread-safe). The
+  /// state is valid only while `generation` matches the catalog: appends
+  /// leave the generation alone (the state absorbs them incrementally);
+  /// any other mutation bumps it and the state rebuilds on next use.
+  struct MaintenanceEntry {
+    Mutex mu;
+    uint64_t generation PB_GUARDED_BY(mu) = 0;
+    core::SketchRefineState state PB_GUARDED_BY(mu);
+  };
 
   /// The synchronous query pipeline body (takes the catalog read lock).
   QueryResponse Run(const std::string& paql, const QueryBudget& budget,
@@ -254,6 +329,15 @@ class Engine {
                   const core::EvaluationOptions& eo,
                   const core::CardinalityBounds& bounds, QueryResponse* resp)
       PB_REQUIRES_SHARED(catalog_mu_);
+  /// Maintained SketchRefine route (incremental_maintenance on): solves
+  /// through the per-query partition state so repeat queries after appends
+  /// re-solve only dirty groups. Falls back to RunIlpPath when the solve
+  /// comes back empty-handed un-cancelled.
+  void RunSketchRefinePath(const paql::AnalyzedQuery& aq,
+                           const core::EvaluationOptions& eo,
+                           const core::CardinalityBounds& bounds,
+                           const std::string& query_key, QueryResponse* resp)
+      PB_REQUIRES_SHARED(catalog_mu_);
   /// Fallback route through the QueryEvaluator hybrid.
   void RunEvaluatorPath(const paql::AnalyzedQuery& aq,
                         const core::EvaluationOptions& eo,
@@ -261,6 +345,8 @@ class Engine {
 
   std::shared_ptr<Session> FindSession(uint64_t id);
   std::shared_ptr<WarmEntry> GetWarmEntry(uint64_t signature);
+  std::shared_ptr<MaintenanceEntry> GetMaintenanceEntry(
+      const std::string& query_key);
   bool LookupResultCache(const std::string& key, QueryResponse* out);
   void StoreResultCache(const std::string& key, const QueryResponse& resp);
 
@@ -275,8 +361,9 @@ class Engine {
   std::unique_ptr<ThreadPool> pool_;
 
   // Lock hierarchy (outermost first): catalog_mu_ → {sessions_mu_,
-  // result_mu_, warm_mu_, WarmEntry::mu, stats_mu_}. The leaf mutexes are
-  // never held together; see docs/adr/0003-concurrency-invariants.md.
+  // result_mu_, warm_mu_, WarmEntry::mu, maint_mu_, MaintenanceEntry::mu,
+  // stats_mu_}. The leaf mutexes are never held together; see
+  // docs/adr/0003-concurrency-invariants.md.
   mutable SharedMutex catalog_mu_;
   db::Catalog catalog_ PB_GUARDED_BY(catalog_mu_);
   /// Bumped on every mutation.
@@ -301,6 +388,15 @@ class Engine {
     std::shared_ptr<WarmEntry> entry;
   };
   std::unordered_map<uint64_t, WarmSlot> warm_map_ PB_GUARDED_BY(warm_mu_);
+
+  Mutex maint_mu_;
+  std::list<std::string> maint_lru_ PB_GUARDED_BY(maint_mu_);
+  struct MaintSlot {
+    std::list<std::string>::iterator lru;
+    std::shared_ptr<MaintenanceEntry> entry;
+  };
+  std::unordered_map<std::string, MaintSlot> maint_map_
+      PB_GUARDED_BY(maint_mu_);
 
   std::atomic<int> unclaimed_threads_{1};
   std::atomic<int64_t> pending_{0};

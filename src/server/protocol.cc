@@ -60,6 +60,12 @@ json::Value QueryResponseToJson(const engine::QueryResponse& resp) {
                json::Value::Int(resp.zone_map_skipped_blocks));
   counters.Set("storage_peak_pinned_bytes",
                json::Value::Int(resp.storage_peak_pinned_bytes));
+  counters.Set("revalidated", json::Value::Bool(resp.revalidated));
+  counters.Set("dirty_groups", json::Value::Int(resp.dirty_groups));
+  counters.Set("groups_reused", json::Value::Int(resp.groups_reused));
+  counters.Set("maintenance_ms", json::Value::Number(resp.maintenance_ms));
+  counters.Set("table_rows",
+               json::Value::Int(static_cast<int64_t>(resp.table_rows)));
   out.Set("counters", std::move(counters));
 
   json::Value timings = json::Value::Object();
@@ -176,6 +182,63 @@ json::Value HandleSpill(engine::Engine* engine, const json::Value& request) {
   return OkEnvelope(std::move(result));
 }
 
+/// JSON cell -> db::Value. Whole numbers travel as Int (which widens into
+/// DOUBLE columns, so `3` fits both INT and DOUBLE schemas); fractional
+/// ones as Double. Table::AppendRows re-checks types against the schema.
+Result<db::Value> JsonCellToValue(const json::Value& cell) {
+  if (cell.is_null()) return db::Value::Null();
+  if (cell.is_bool()) return db::Value::Bool(cell.as_bool());
+  if (cell.is_number()) {
+    const double d = cell.as_number();
+    if (d == static_cast<double>(cell.as_int())) {
+      return db::Value::Int(cell.as_int());
+    }
+    return db::Value::Double(d);
+  }
+  if (cell.is_string()) return db::Value::String(cell.as_string());
+  return Status::InvalidArgument(
+      "append cells must be scalars (null, bool, number, or string)");
+}
+
+json::Value HandleAppend(engine::Engine* engine, const json::Value& request) {
+  const std::string table = request.GetString("table");
+  if (table.empty()) {
+    return ErrorEnvelope(StatusCode::kInvalidArgument,
+                         "append request needs a non-empty 'table' field");
+  }
+  const json::Value* rows = request.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return ErrorEnvelope(StatusCode::kInvalidArgument,
+                         "append request needs a 'rows' array of row arrays");
+  }
+  std::vector<db::Tuple> tuples;
+  tuples.reserve(rows->items().size());
+  for (const json::Value& row : rows->items()) {
+    if (!row.is_array()) {
+      return ErrorEnvelope(StatusCode::kInvalidArgument,
+                           "each appended row must be an array of cells");
+    }
+    db::Tuple tuple;
+    tuple.reserve(row.items().size());
+    for (const json::Value& cell : row.items()) {
+      auto value = JsonCellToValue(cell);
+      if (!value.ok()) return ErrorEnvelope(value.status());
+      tuple.push_back(*std::move(value));
+    }
+    tuples.push_back(std::move(tuple));
+  }
+  auto outcome = engine->AppendRows(table, std::move(tuples));
+  if (!outcome.ok()) return ErrorEnvelope(outcome.status());
+  json::Value result = json::Value::Object();
+  result.Set("table", json::Value::Str(table));
+  result.Set("appended", json::Value::Int(static_cast<int64_t>(outcome->rows)));
+  result.Set("table_rows",
+             json::Value::Int(static_cast<int64_t>(outcome->table_rows)));
+  result.Set("full_invalidation",
+             json::Value::Bool(outcome->full_invalidation));
+  return OkEnvelope(std::move(result));
+}
+
 json::Value HandleStats(engine::Engine* engine) {
   const engine::EngineStats s = engine->stats();
   json::Value result = json::Value::Object();
@@ -187,6 +250,11 @@ json::Value HandleStats(engine::Engine* engine) {
   result.Set("warm_cache_misses", json::Value::Int(s.warm_cache_misses));
   result.Set("overload_rejections",
              json::Value::Int(s.overload_rejections));
+  result.Set("appends", json::Value::Int(s.appends));
+  result.Set("rows_appended", json::Value::Int(s.rows_appended));
+  result.Set("revalidations", json::Value::Int(s.revalidations));
+  result.Set("maintenance_full_invalidations",
+             json::Value::Int(s.maintenance_full_invalidations));
   result.Set("num_threads", json::Value::Int(engine->num_threads()));
   json::Value block_cache = json::Value::Object();
   block_cache.Set("hits", json::Value::Int(s.block_cache_hits));
@@ -240,6 +308,7 @@ json::Value HandleRequest(engine::Engine* engine, const json::Value& request,
   if (op == "tables") return HandleTables(engine);
   if (op == "gen") return HandleGen(engine, request);
   if (op == "spill") return HandleSpill(engine, request);
+  if (op == "append") return HandleAppend(engine, request);
   if (op == "stats") return HandleStats(engine);
   return ErrorEnvelope(StatusCode::kInvalidArgument,
                        "unknown op '" + op + "'");

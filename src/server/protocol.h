@@ -22,6 +22,11 @@
 //    "n":500,"seed":42}                   -> generates a dataset
 //   {"op":"spill","table":"lineitem",
 //    "block_size":65536}                  -> move a table to disk blocks
+//   {"op":"append","table":"lineitem",
+//    "rows":[[1,2.5,"air"],...]}          -> append rows (incremental
+//                                            maintenance; spilled tables
+//                                            fall back to full
+//                                            invalidation)
 //   {"op":"stats"}                        -> engine counters
 //   {"op":"close","session":N}            -> closes a session
 //

@@ -37,6 +37,13 @@ import argparse
 import json
 import sys
 
+
+class BenchFileError(Exception):
+    """A benchmark JSON file that cannot be gated: missing, malformed, or
+    structurally broken (e.g. a nameless entry). Reported as a failure with
+    context instead of a traceback — a gate that crashes reads as CI flake,
+    a gate that explains itself reads as what it is."""
+
 # Higher-is-worse effort counters: only increases beyond the threshold fail.
 # refactorizations/basis_updates are the factorization layer's work metric
 # (deterministic, like the iteration counts — see LpSolution).
@@ -50,19 +57,53 @@ WORK_COUNTERS = ("lp_iterations", "lp_dual_iterations", "bnb_nodes",
 # the same zone maps as spilled ones), so any drift means the pruner's
 # zone path changed, not that the data moved.
 CANARY_COUNTERS = ("presolve_fixed_bounds", "presolve_infeasible_children",
-                   "zone_map_skipped_blocks")
+                   "zone_map_skipped_blocks",
+                   # Incremental-maintenance partition counters: reuse and
+                   # dirtiness are deterministic functions of the append
+                   # sequence, so any drift means the maintenance path
+                   # changed behaviour, not that the machine got slower.
+                   "groups_reused", "dirty_groups")
 OBJECTIVE_REL_TOL = 1e-6
 
 
 def load_benchmarks(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise BenchFileError(f"{path}: cannot read benchmark JSON: {e}")
+    except ValueError as e:
+        raise BenchFileError(f"{path}: malformed benchmark JSON: {e}")
+    if not isinstance(data, dict) or not isinstance(
+            data.get("benchmarks", []), list):
+        raise BenchFileError(
+            f"{path}: not a Google Benchmark JSON file "
+            "(expected an object with a 'benchmarks' array)")
     out = {}
-    for bench in data.get("benchmarks", []):
+    for i, bench in enumerate(data.get("benchmarks", [])):
+        if not isinstance(bench, dict):
+            raise BenchFileError(
+                f"{path}: benchmarks[{i}] is not an object")
         if bench.get("run_type", "iteration") != "iteration":
             continue
-        out[bench["name"]] = bench
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            raise BenchFileError(
+                f"{path}: benchmarks[{i}] has no 'name' — cannot be "
+                "matched against the baseline (truncated or hand-edited "
+                "file?)")
+        out[name] = bench
     return out
+
+
+def as_number(path, name, counter, value):
+    """A counter that is not a number cannot be gated; fail with context."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise BenchFileError(
+            f"{path}: {name}: counter {counter} is not numeric "
+            f"({value!r}) — cannot compare against the baseline")
 
 
 def main():
@@ -75,8 +116,12 @@ def main():
                              "(default 0.10 = 10%%)")
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    new = load_benchmarks(args.new)
+    try:
+        base = load_benchmarks(args.baseline)
+        new = load_benchmarks(args.new)
+    except BenchFileError as e:
+        print(f"FAIL: {e}")
+        return 1
     failures = []
     notes = []
 
@@ -98,7 +143,12 @@ def main():
                     f"{name}: counter {counter} present in baseline but "
                     "missing from the new run — gate coverage lost")
                 continue
-            bv, nv = float(b[counter]), float(n[counter])
+            try:
+                bv = as_number(args.baseline, name, counter, b[counter])
+                nv = as_number(args.new, name, counter, n[counter])
+            except BenchFileError as e:
+                failures.append(str(e))
+                continue
             scale = max(abs(bv), 1.0)
             drift = (nv - bv) / scale
             what = f"{name}: {counter} {bv:g} -> {nv:g} ({drift:+.1%})"
@@ -115,10 +165,18 @@ def main():
                     f"{name}: counter objective present in baseline but "
                     "missing from the new run — gate coverage lost")
             else:
-                bv, nv = float(b["objective"]), float(n["objective"])
-                if abs(nv - bv) > OBJECTIVE_REL_TOL * max(abs(bv), 1.0):
-                    failures.append(f"{name}: objective {bv!r} -> {nv!r} — "
-                                    "different optimum")
+                try:
+                    bv = as_number(args.baseline, name, "objective",
+                                   b["objective"])
+                    nv = as_number(args.new, name, "objective",
+                                   n["objective"])
+                except BenchFileError as e:
+                    failures.append(str(e))
+                else:
+                    if abs(nv - bv) > OBJECTIVE_REL_TOL * max(abs(bv), 1.0):
+                        failures.append(
+                            f"{name}: objective {bv!r} -> {nv!r} — "
+                            "different optimum")
 
     for note in notes:
         print(f"[note] {note}")

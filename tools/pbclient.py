@@ -11,6 +11,7 @@ Usage:
     pbclient.py --port 7781 hello
     pbclient.py --port 7781 tables
     pbclient.py --port 7781 gen recipes 500 42
+    pbclient.py --port 7781 append recipes '[[1, 2.5, "x"], [2, 3.0, "y"]]'
     pbclient.py --port 7781 query 'SELECT PACKAGE(R) FROM recipes R ...' \
         [--session N] [--time-limit S] [--max-nodes N] [--threads T]
     pbclient.py --port 7781 cancel --session N
@@ -73,6 +74,16 @@ def build_request(args):
         if len(args.args) > 2:
             req["seed"] = int(args.args[2])
         return req
+    if args.command == "append":
+        if len(args.args) != 2:
+            sys.exit("usage: append <table> '<json array of row arrays>'")
+        try:
+            rows = json.loads(args.args[1])
+        except ValueError as e:
+            sys.exit(f"append: rows must be valid JSON: {e}")
+        if not isinstance(rows, list):
+            sys.exit("append: rows must be a JSON array of row arrays")
+        return {"op": "append", "table": args.args[0], "rows": rows}
     if args.command == "query":
         if len(args.args) != 1:
             sys.exit("usage: query '<paql text>'")
@@ -122,7 +133,7 @@ def main():
                         help="assert the envelope: ok | error:<Code>")
     parser.add_argument("command",
                         choices=["hello", "tables", "stats", "cancel",
-                                 "gen", "query", "raw"])
+                                 "gen", "append", "query", "raw"])
     parser.add_argument("args", nargs="*")
     args = parser.parse_args()
 
